@@ -1,0 +1,42 @@
+// Shared table-printing helpers for the figure-reproduction benches.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/strings.hpp"
+
+namespace cypress::bench {
+
+inline void header(const std::string& title, const std::string& paperRef) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("  (reproduces %s)\n", paperRef.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string kb(size_t bytes) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", static_cast<double>(bytes) / 1024.0);
+  return buf;
+}
+
+inline std::string pct(double p) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f%%", p);
+  return buf;
+}
+
+inline std::string secs(double s) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4f", s);
+  return buf;
+}
+
+}  // namespace cypress::bench

@@ -1,0 +1,34 @@
+// Figure 15: total communication trace sizes (KB) of the NPB programs
+// under Gzip, ScalaTrace, ScalaTrace-2 (+Gzip), and CYPRESS (+Gzip),
+// across the paper's process counts.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "driver/pipeline.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cypress;
+
+int main() {
+  bench::header("Figure 15 — NPB trace sizes per tool (KB)",
+                "Fig. 15(a)-(h), SC'14 CYPRESS paper");
+  bench::row({"program", "procs", "Gzip", "ScalaTrace", "ScalaTr2",
+              "ScalaTr2+Gz", "Cypress", "Cypress+Gz"});
+
+  for (const std::string& name : workloads::npbNames()) {
+    const auto& w = workloads::get(name);
+    for (int procs : w.paperProcCounts) {
+      driver::Options opts;
+      opts.procs = procs;
+      driver::RunOutput run = driver::runWorkload(name, opts);
+      driver::SizeReport rep = driver::computeSizes(run);
+      bench::row({name, std::to_string(procs), bench::kb(rep.gzipBytes),
+                  bench::kb(rep.scalaBytes), bench::kb(rep.scala2Bytes),
+                  bench::kb(rep.scala2GzipBytes), bench::kb(rep.cypressBytes),
+                  bench::kb(rep.cypressGzipBytes)});
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

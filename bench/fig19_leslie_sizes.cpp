@@ -1,0 +1,27 @@
+// Figure 19: LESlie3d compressed trace sizes under Gzip, ScalaTrace and
+// CYPRESS across process counts.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "driver/pipeline.hpp"
+
+using namespace cypress;
+
+int main() {
+  bench::header("Figure 19 — LESlie3d trace sizes (KB)",
+                "Fig. 19, SC'14 CYPRESS paper");
+  bench::row({"procs", "Gzip", "ScalaTrace", "Cypress"});
+
+  for (int procs : {32, 64, 128, 256, 512}) {
+    driver::Options opts;
+    opts.procs = procs;
+    opts.scale = 8;  // longer run: Gzip grows with events, CYPRESS stays flat
+    opts.withScala2 = false;
+    driver::RunOutput run = driver::runWorkload("LESLIE3D", opts);
+    driver::SizeReport rep = driver::computeSizes(run);
+    bench::row({std::to_string(procs), bench::kb(rep.gzipBytes),
+                bench::kb(rep.scalaBytes), bench::kb(rep.cypressBytes)});
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Micro-benchmarks (google-benchmark) for the compression kernels: the
+// per-event hook cost of each recorder, stride-sequence appends, CTT
+// merging, ScalaTrace alignment, and flate throughput.
+#include <benchmark/benchmark.h>
+
+#include "cst/builder.hpp"
+#include "cypress/ctt.hpp"
+#include "cypress/merge.hpp"
+#include "flate/flate.hpp"
+#include "minic/compile.hpp"
+#include "scalatrace/inter.hpp"
+#include "scalatrace/recorder.hpp"
+#include "support/rng.hpp"
+#include "support/section_seq.hpp"
+#include "trace/observer.hpp"
+
+namespace {
+
+using namespace cypress;
+
+trace::Event makeEvent(int i) {
+  trace::Event e;
+  e.op = ir::MpiOp::Send;
+  e.peer = 1;
+  e.bytes = 4096;
+  e.tag = i % 4;
+  e.callSiteId = 7;
+  e.durationNs = 1000 + static_cast<uint64_t>(i % 13);
+  e.computeNs = 500;
+  return e;
+}
+
+void BM_SectionSeqAppendConstant(benchmark::State& state) {
+  for (auto _ : state) {
+    SectionSeq s;
+    for (int i = 0; i < 1024; ++i) s.append(42);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SectionSeqAppendConstant);
+
+void BM_SectionSeqAppendRandom(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<int64_t> vals(1024);
+  for (auto& v : vals) v = rng.range(0, 1 << 20);
+  for (auto _ : state) {
+    SectionSeq s;
+    for (int64_t v : vals) s.append(v);
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_SectionSeqAppendRandom);
+
+/// Per-event cost of the CYPRESS recorder on a regular event stream: the
+/// quantity behind the paper's 1.58% average intra-process overhead.
+void BM_CypressRecorderPerEvent(benchmark::State& state) {
+  auto m = minic::compileProgram(R"(
+    func main() {
+      for (var i = 0; i < 10; i = i + 1) { mpi_send(rank + 1, 4096, 0); }
+    })");
+  cst::StaticResult sr = cst::analyzeAndInstrument(*m);
+  core::CttRecorder rec(sr.cst, 0);
+  rec.onStructEnter(0, -1);
+  trace::Event e = makeEvent(0);
+  e.callSiteId = 0;
+  e.tag = 0;
+  for (auto _ : state) {
+    rec.onEvent(e);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CypressRecorderPerEvent);
+
+/// Per-event cost of ScalaTrace's greedy window search on the same
+/// stream.
+void BM_ScalaTraceRecorderPerEvent(benchmark::State& state) {
+  scalatrace::Recorder rec(0, scalatrace::Recorder::Options(scalatrace::Flavor::V1));
+  int i = 0;
+  for (auto _ : state) {
+    rec.onEvent(makeEvent(i++));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ScalaTraceRecorderPerEvent);
+
+void BM_FlateCompressTraceLike(benchmark::State& state) {
+  std::string record = "MPI_Send dst=12 bytes=4096 tag=7 comm=0\n";
+  std::string buf;
+  for (int i = 0; i < 1000; ++i) buf += record;
+  std::vector<uint8_t> data(buf.begin(), buf.end());
+  for (auto _ : state) {
+    auto c = flate::compress(data);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_FlateCompressTraceLike);
+
+void BM_FlateRoundTripRandom(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<uint8_t> data(1 << 16);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.below(64));
+  for (auto _ : state) {
+    auto c = flate::compress(data, flate::Level::Fast);
+    auto d = flate::decompress(c);
+    benchmark::DoNotOptimize(d);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_FlateRoundTripRandom);
+
+/// Pairwise CTT merge cost (the O(n) comparison of the paper) as a
+/// function of the number of processes merged.
+void BM_CypressMerge(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  auto m = minic::compileProgram(R"(
+    func main() {
+      for (var i = 0; i < 64; i = i + 1) {
+        if (rank < size - 1) { mpi_send(rank + 1, 512, 0); }
+        if (rank > 0)        { mpi_recv(rank - 1, 512, 0); }
+      }
+    })");
+  cst::StaticResult sr = cst::analyzeAndInstrument(*m);
+  std::vector<std::unique_ptr<core::CttRecorder>> recs;
+  for (int r = 0; r < ranks; ++r) {
+    recs.push_back(std::make_unique<core::CttRecorder>(sr.cst, r));
+    // Populate a plausible CTT without running the VM: events only.
+    trace::Event e = makeEvent(0);
+    e.callSiteId = 0;
+    recs.back()->onStructEnter(0, -1);
+    recs.back()->onStructEnter(1, -1);
+    for (int i = 0; i < 64; ++i) recs.back()->onEvent(e);
+    recs.back()->onStructExit(1);
+    recs.back()->onStructExit(0);
+    recs.back()->onFinalize();
+  }
+  for (auto _ : state) {
+    std::vector<const core::Ctt*> ctts;
+    for (const auto& r : recs) ctts.push_back(&r->ctt());
+    auto merged = core::mergeAll(ctts);
+    benchmark::DoNotOptimize(merged);
+  }
+  state.SetItemsProcessed(state.iterations() * ranks);
+}
+BENCHMARK(BM_CypressMerge)->Arg(8)->Arg(64)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Communication-pattern analysis from a *compressed* trace (the paper's
+// §VII-D1 use case): decompress a CYPRESS trace, build the rank-to-rank
+// volume matrix, list each rank's peers and message-size classes.
+//
+// Usage: ./build/examples/analyze_patterns [WORKLOAD] [PROCS]
+//   default: MG 64 (the paper's irregular example)
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "cypress/decompress.hpp"
+#include "driver/pipeline.hpp"
+#include "support/strings.hpp"
+#include "trace/matrix.hpp"
+
+using namespace cypress;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "MG";
+  const int procs = argc > 2 ? std::atoi(argv[2]) : 64;
+
+  driver::Options opts;
+  opts.procs = procs;
+  opts.withRaw = false;  // everything below uses only the compressed trace
+  opts.withScala = false;
+  opts.withScala2 = false;
+  driver::RunOutput run = driver::runWorkload(name, opts);
+
+  core::MergedCtt merged = driver::mergeCypress(run);
+  const auto traceBytes = merged.serialize().size();
+  trace::RawTrace t = core::decompressAll(merged, procs);
+
+  std::printf("%s on %d ranks — analysis from a %s compressed trace\n\n",
+              name.c_str(), procs, humanBytes(traceBytes).c_str());
+
+  auto m = trace::commMatrix(t);
+  std::printf("communication volume heat map:\n%s\n",
+              trace::renderMatrix(m, 32).c_str());
+
+  // Peer fan-out distribution.
+  std::map<size_t, int> fanout;
+  for (size_t i = 0; i < m.size(); ++i) {
+    size_t peers = 0;
+    for (uint64_t v : m[i])
+      if (v) ++peers;
+    fanout[peers]++;
+  }
+  std::printf("peer fan-out histogram (peers -> #ranks):");
+  for (const auto& [peers, count] : fanout) std::printf(" %zu->%d", peers, count);
+  std::printf("\n");
+
+  // Message-size classes (the paper reports exactly two for LESlie3d).
+  std::set<int64_t> sizes;
+  uint64_t msgs = 0;
+  for (const auto& r : t.ranks)
+    for (const auto& e : r.events)
+      if (e.op == ir::MpiOp::Send || e.op == ir::MpiOp::Isend) {
+        sizes.insert(e.bytes);
+        ++msgs;
+      }
+  std::printf("%llu point-to-point messages in %zu distinct size classes\n",
+              static_cast<unsigned long long>(msgs), sizes.size());
+  if (sizes.size() <= 8) {
+    std::printf("sizes:");
+    for (int64_t s : sizes) std::printf(" %s", humanBytes(static_cast<uint64_t>(s)).c_str());
+    std::printf("\n");
+  }
+  return 0;
+}

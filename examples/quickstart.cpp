@@ -1,0 +1,74 @@
+// Quickstart: trace a small MPI program with CYPRESS end to end.
+//
+//   1. Write (or load) a MiniC program.
+//   2. Compile it; the static pass extracts the CST and instruments the IR.
+//   3. Run it on the simulated MPI cluster with CYPRESS recorders attached.
+//   4. Merge the per-process trace trees, inspect sizes, and decompress
+//      one rank's exact event sequence.
+//
+// Build: cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "cst/builder.hpp"
+#include "cypress/ctt.hpp"
+#include "cypress/decompress.hpp"
+#include "cypress/merge.hpp"
+#include "minic/compile.hpp"
+#include "simmpi/engine.hpp"
+#include "support/strings.hpp"
+#include "trace/observer.hpp"
+#include "vm/runner.hpp"
+
+using namespace cypress;
+
+int main() {
+  // The paper's Figure 3: a 1-D Jacobi halo exchange.
+  const char* program = R"(
+    func main() {
+      for (var step = 0; step < 500; step = step + 1) {
+        if (rank < size - 1) { mpi_send(rank + 1, 8192, 0); }
+        if (rank > 0)        { mpi_recv(rank - 1, 8192, 0); }
+        if (rank > 0)        { mpi_send(rank - 1, 8192, 0); }
+        if (rank < size - 1) { mpi_recv(rank + 1, 8192, 0); }
+        compute(250000);
+      }
+    })";
+  const int ranks = 16;
+
+  // Static phase: compile, build the CST, instrument (paper §III).
+  auto module = minic::compileProgram(program);
+  cst::StaticResult sr = cst::analyzeAndInstrument(*module);
+  std::printf("Communication Structure Tree (%d vertices):\n%s\n",
+              sr.cst.numNodes(), sr.cst.toString().c_str());
+
+  // Dynamic phase: run on the simulated cluster, one recorder per rank.
+  simmpi::Engine::Config cfg;
+  cfg.numRanks = ranks;
+  simmpi::Engine engine(cfg);
+  std::vector<std::unique_ptr<core::CttRecorder>> recorders;
+  std::vector<trace::Observer*> observers;
+  for (int r = 0; r < ranks; ++r) {
+    recorders.push_back(std::make_unique<core::CttRecorder>(sr.cst, r));
+    observers.push_back(recorders.back().get());
+  }
+  vm::RunResult res = vm::run(*module, engine, observers);
+  std::printf("executed %llu instructions; simulated time %.2f ms\n",
+              static_cast<unsigned long long>(res.totalInstructions),
+              static_cast<double>(res.executionNs) / 1e6);
+
+  // Inter-process merge (paper §IV-B) and the final trace size.
+  std::vector<const core::Ctt*> ctts;
+  for (const auto& r : recorders) ctts.push_back(&r->ctt());
+  core::MergedCtt merged = core::mergeAll(ctts);
+  const auto bytes = merged.serialize();
+  const size_t rawEvents = 500u * 4u * (ranks - 1u) * 2u / 2u;
+  std::printf("merged CYPRESS trace: %s for ~%zu events across %d ranks\n",
+              humanBytes(bytes.size()).c_str(), rawEvents, ranks);
+
+  // Decompression is sequence-preserving: rank 3's exact event stream.
+  auto events = core::decompressRank(merged, 3);
+  std::printf("rank 3 recorded %zu events; first three:\n", events.size());
+  for (size_t i = 0; i < 3 && i < events.size(); ++i)
+    std::printf("  %s\n", events[i].toString().c_str());
+  return 0;
+}

@@ -1,0 +1,133 @@
+#include "analysis/callgraph.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace cypress::analysis {
+
+int CallGraph::nodeOf(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i)
+    if (names_[i] == name) return static_cast<int>(i);
+  return -1;
+}
+
+namespace {
+
+/// Iterative Tarjan SCC.
+struct Tarjan {
+  const std::vector<std::vector<int>>& adj;
+  std::vector<int> index, low, sccId;
+  std::vector<bool> onStack;
+  std::vector<int> stack;
+  int nextIndex = 0, nextScc = 0;
+  std::vector<int> sccSize;
+
+  explicit Tarjan(const std::vector<std::vector<int>>& a)
+      : adj(a),
+        index(a.size(), -1),
+        low(a.size(), 0),
+        sccId(a.size(), -1),
+        onStack(a.size(), false) {}
+
+  void run() {
+    for (size_t v = 0; v < adj.size(); ++v)
+      if (index[v] == -1) strongConnect(static_cast<int>(v));
+  }
+
+  void strongConnect(int root) {
+    // Explicit stack of (node, child cursor).
+    std::vector<std::pair<int, size_t>> call;
+    call.emplace_back(root, 0);
+    index[static_cast<size_t>(root)] = low[static_cast<size_t>(root)] = nextIndex++;
+    stack.push_back(root);
+    onStack[static_cast<size_t>(root)] = true;
+
+    while (!call.empty()) {
+      auto& [v, cursor] = call.back();
+      if (cursor < adj[static_cast<size_t>(v)].size()) {
+        const int w = adj[static_cast<size_t>(v)][cursor++];
+        if (index[static_cast<size_t>(w)] == -1) {
+          index[static_cast<size_t>(w)] = low[static_cast<size_t>(w)] = nextIndex++;
+          stack.push_back(w);
+          onStack[static_cast<size_t>(w)] = true;
+          call.emplace_back(w, 0);
+        } else if (onStack[static_cast<size_t>(w)]) {
+          low[static_cast<size_t>(v)] =
+              std::min(low[static_cast<size_t>(v)], index[static_cast<size_t>(w)]);
+        }
+      } else {
+        if (low[static_cast<size_t>(v)] == index[static_cast<size_t>(v)]) {
+          int count = 0;
+          while (true) {
+            const int w = stack.back();
+            stack.pop_back();
+            onStack[static_cast<size_t>(w)] = false;
+            sccId[static_cast<size_t>(w)] = nextScc;
+            ++count;
+            if (w == v) break;
+          }
+          sccSize.push_back(count);
+          ++nextScc;
+        }
+        const int finished = v;
+        call.pop_back();
+        if (!call.empty()) {
+          const int parent = call.back().first;
+          low[static_cast<size_t>(parent)] = std::min(
+              low[static_cast<size_t>(parent)], low[static_cast<size_t>(finished)]);
+        }
+      }
+    }
+  }
+};
+
+}  // namespace
+
+CallGraph CallGraph::build(const ir::Module& m) {
+  CallGraph g;
+  std::map<std::string, int> idOf;
+  for (const auto& f : m.functions) {
+    idOf[f->name] = static_cast<int>(g.names_.size());
+    g.names_.push_back(f->name);
+  }
+  g.callees_.resize(g.names_.size());
+  std::vector<bool> selfLoop(g.names_.size(), false);
+
+  for (const auto& f : m.functions) {
+    const int from = idOf[f->name];
+    for (const auto& b : f->blocks) {
+      for (const auto& i : b.instrs) {
+        if (i.kind != ir::InstrKind::Call) continue;
+        auto it = idOf.find(i.callee);
+        CYP_CHECK(it != idOf.end(), "call graph: unknown callee '" << i.callee << "'");
+        const int to = it->second;
+        auto& edges = g.callees_[static_cast<size_t>(from)];
+        if (std::find(edges.begin(), edges.end(), to) == edges.end())
+          edges.push_back(to);
+        if (to == from) selfLoop[static_cast<size_t>(from)] = true;
+      }
+    }
+  }
+
+  Tarjan tarjan(g.callees_);
+  tarjan.run();
+  g.scc_.assign(tarjan.sccId.begin(), tarjan.sccId.end());
+  g.recursive_.resize(g.names_.size());
+  for (size_t v = 0; v < g.names_.size(); ++v) {
+    g.recursive_[v] = selfLoop[v] ||
+                      tarjan.sccSize[static_cast<size_t>(tarjan.sccId[v])] > 1;
+  }
+
+  // Bottom-up order: Tarjan assigns SCC ids in callee-first order, so
+  // ascending SCC id gives a valid post-order over the condensation.
+  g.postOrder_.resize(g.names_.size());
+  for (size_t v = 0; v < g.names_.size(); ++v) g.postOrder_[v] = static_cast<int>(v);
+  std::stable_sort(g.postOrder_.begin(), g.postOrder_.end(), [&](int a, int b) {
+    return g.scc_[static_cast<size_t>(a)] < g.scc_[static_cast<size_t>(b)];
+  });
+  return g;
+}
+
+}  // namespace cypress::analysis

@@ -1,0 +1,46 @@
+// Program Call Graph (PCG) with SCC-based recursion detection.
+//
+// The inter-procedural CST builder (paper Algorithm 2) walks procedures
+// bottom-up over the PCG; recursive call cycles are detected here so the
+// CST builder can convert them into pseudo-loops (paper Figure 8, citing
+// Emami et al.).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace cypress::analysis {
+
+class CallGraph {
+ public:
+  static CallGraph build(const ir::Module& m);
+
+  int numNodes() const { return static_cast<int>(names_.size()); }
+  const std::string& name(int node) const { return names_[static_cast<size_t>(node)]; }
+  int nodeOf(const std::string& name) const;
+  const std::vector<int>& callees(int node) const {
+    return callees_[static_cast<size_t>(node)];
+  }
+
+  /// True when the function participates in a call cycle (including
+  /// direct self-recursion).
+  bool isRecursive(int node) const { return recursive_[static_cast<size_t>(node)]; }
+
+  /// Strongly connected component id of the node (Tarjan order).
+  int sccOf(int node) const { return scc_[static_cast<size_t>(node)]; }
+
+  /// Functions in bottom-up order: every callee (outside the node's own
+  /// SCC) appears before its caller.
+  const std::vector<int>& postOrder() const { return postOrder_; }
+
+ private:
+  std::vector<std::string> names_;
+  std::vector<std::vector<int>> callees_;
+  std::vector<int> scc_;
+  std::vector<bool> recursive_;
+  std::vector<int> postOrder_;
+};
+
+}  // namespace cypress::analysis

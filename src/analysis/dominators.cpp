@@ -1,0 +1,150 @@
+#include "analysis/dominators.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace cypress::analysis {
+
+CfgView::CfgView(const ir::Function& f) {
+  const size_t n = f.blocks.size();
+  succs.resize(n);
+  preds.resize(n);
+  for (const ir::BasicBlock& b : f.blocks) {
+    succs[static_cast<size_t>(b.id)] = b.successors();
+    for (int s : succs[static_cast<size_t>(b.id)])
+      preds[static_cast<size_t>(s)].push_back(b.id);
+  }
+}
+
+namespace {
+
+/// Reverse postorder over `succs` from `root`; unreachable nodes absent.
+std::vector<int> reversePostorder(const std::vector<std::vector<int>>& succs, int root) {
+  const size_t n = succs.size();
+  std::vector<uint8_t> state(n, 0);  // 0 unvisited, 1 on stack, 2 done
+  std::vector<int> post;
+  post.reserve(n);
+  // Iterative DFS with explicit child cursors.
+  std::vector<std::pair<int, size_t>> stack;
+  stack.emplace_back(root, 0);
+  state[static_cast<size_t>(root)] = 1;
+  while (!stack.empty()) {
+    auto& [node, cursor] = stack.back();
+    if (cursor < succs[static_cast<size_t>(node)].size()) {
+      int child = succs[static_cast<size_t>(node)][cursor++];
+      if (state[static_cast<size_t>(child)] == 0) {
+        state[static_cast<size_t>(child)] = 1;
+        stack.emplace_back(child, 0);
+      }
+    } else {
+      state[static_cast<size_t>(node)] = 2;
+      post.push_back(node);
+      stack.pop_back();
+    }
+  }
+  std::reverse(post.begin(), post.end());
+  return post;
+}
+
+}  // namespace
+
+DomTree DomTree::run(const std::vector<std::vector<int>>& preds,
+                     const std::vector<int>& rpo, int root, int numBlocks) {
+  DomTree t;
+  t.root_ = root;
+  t.idom_.assign(static_cast<size_t>(numBlocks), -1);
+  std::vector<int> rpoIndex(static_cast<size_t>(numBlocks), -1);
+  for (size_t i = 0; i < rpo.size(); ++i)
+    rpoIndex[static_cast<size_t>(rpo[i])] = static_cast<int>(i);
+
+  t.idom_[static_cast<size_t>(root)] = root;
+
+  auto intersect = [&](int a, int b) {
+    while (a != b) {
+      while (rpoIndex[static_cast<size_t>(a)] > rpoIndex[static_cast<size_t>(b)])
+        a = t.idom_[static_cast<size_t>(a)];
+      while (rpoIndex[static_cast<size_t>(b)] > rpoIndex[static_cast<size_t>(a)])
+        b = t.idom_[static_cast<size_t>(b)];
+    }
+    return a;
+  };
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b : rpo) {
+      if (b == root) continue;
+      int newIdom = -1;
+      for (int p : preds[static_cast<size_t>(b)]) {
+        if (t.idom_[static_cast<size_t>(p)] == -1) continue;  // unprocessed
+        newIdom = newIdom == -1 ? p : intersect(p, newIdom);
+      }
+      if (newIdom != -1 && t.idom_[static_cast<size_t>(b)] != newIdom) {
+        t.idom_[static_cast<size_t>(b)] = newIdom;
+        changed = true;
+      }
+    }
+  }
+  t.computeDepths();
+  return t;
+}
+
+void DomTree::computeDepths() {
+  depth_.assign(idom_.size(), -1);
+  depth_[static_cast<size_t>(root_)] = 0;
+  // Nodes may appear before their idom in id order; iterate to fixpoint
+  // (tree depth passes are few).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t b = 0; b < idom_.size(); ++b) {
+      if (depth_[b] != -1 || idom_[b] == -1) continue;
+      const int p = idom_[b];
+      if (depth_[static_cast<size_t>(p)] != -1) {
+        depth_[b] = depth_[static_cast<size_t>(p)] + 1;
+        changed = true;
+      }
+    }
+  }
+}
+
+bool DomTree::dominates(int a, int b) const {
+  if (!reachable(a) || !reachable(b)) return false;
+  while (depth_[static_cast<size_t>(b)] > depth_[static_cast<size_t>(a)])
+    b = idom_[static_cast<size_t>(b)];
+  return a == b;
+}
+
+DomTree DomTree::build(const ir::Function& f) {
+  CfgView cfg(f);
+  auto rpo = reversePostorder(cfg.succs, 0);
+  return run(cfg.preds, rpo, 0, cfg.numBlocks());
+}
+
+DomTree DomTree::buildPost(const ir::Function& f) {
+  CfgView cfg(f);
+  const int n = cfg.numBlocks();
+  const int exitNode = n;  // virtual exit
+
+  // Reversed CFG over n+1 nodes.
+  std::vector<std::vector<int>> succsRev(static_cast<size_t>(n) + 1);
+  std::vector<std::vector<int>> predsRev(static_cast<size_t>(n) + 1);
+  for (int b = 0; b < n; ++b) {
+    // Reversed successors of b = original predecessors of b.
+    succsRev[static_cast<size_t>(b)] = cfg.preds[static_cast<size_t>(b)];
+    // Reversed predecessors of b = original successors of b.
+    predsRev[static_cast<size_t>(b)] = cfg.succs[static_cast<size_t>(b)];
+  }
+  for (const ir::BasicBlock& b : f.blocks) {
+    if (b.term.kind == ir::TermKind::Ret) {
+      succsRev[static_cast<size_t>(exitNode)].push_back(b.id);
+      predsRev[static_cast<size_t>(b.id)].push_back(exitNode);
+    }
+  }
+
+  auto rpo = reversePostorder(succsRev, exitNode);
+  return run(predsRev, rpo, exitNode, n + 1);
+}
+
+}  // namespace cypress::analysis

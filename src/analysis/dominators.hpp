@@ -1,0 +1,56 @@
+// Dominator and post-dominator trees over IR CFGs.
+//
+// The CST builder identifies loops with the classic dominator-based
+// natural-loop algorithm (paper §III-A cites Muchnick), and places
+// branch-exit instrumentation at immediate post-dominators. We use the
+// Cooper–Harvey–Kennedy iterative algorithm: simple, and fast at the CFG
+// sizes communication skeletons produce.
+#pragma once
+
+#include <vector>
+
+#include "ir/ir.hpp"
+
+namespace cypress::analysis {
+
+/// Predecessor/successor lists for a function CFG.
+struct CfgView {
+  explicit CfgView(const ir::Function& f);
+
+  int numBlocks() const { return static_cast<int>(succs.size()); }
+
+  std::vector<std::vector<int>> succs;
+  std::vector<std::vector<int>> preds;
+};
+
+/// Immediate-dominator tree. idom[entry] == entry; unreachable blocks
+/// have idom -1.
+class DomTree {
+ public:
+  /// Forward dominators of f's CFG (entry = block 0).
+  static DomTree build(const ir::Function& f);
+
+  /// Post-dominators: dominators of the reversed CFG with a virtual exit
+  /// node (id == f.blocks.size()) joining every Ret block. The tree has
+  /// numBlocks()+1 nodes; idom values may be the virtual exit's id
+  /// (== root()), meaning "only post-dominated by function exit".
+  static DomTree buildPost(const ir::Function& f);
+
+  int root() const { return root_; }
+  int idom(int block) const { return idom_[static_cast<size_t>(block)]; }
+  bool reachable(int block) const { return idom_[static_cast<size_t>(block)] != -1; }
+
+  /// True when a dominates b (reflexive).
+  bool dominates(int a, int b) const;
+
+ private:
+  std::vector<int> idom_;
+  std::vector<int> depth_;
+  int root_ = 0;
+
+  static DomTree run(const std::vector<std::vector<int>>& preds,
+                     const std::vector<int>& rpo, int root, int numBlocks);
+  void computeDepths();
+};
+
+}  // namespace cypress::analysis

@@ -1,0 +1,540 @@
+#include "cst/builder.hpp"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "support/error.hpp"
+#include "support/timer.hpp"
+
+namespace cypress::cst {
+
+namespace {
+
+using analysis::CallGraph;
+using analysis::CfgView;
+using analysis::DomTree;
+using analysis::Loop;
+using analysis::LoopInfo;
+
+enum class MarkerType : uint8_t { Enter, Exit };
+
+/// One instrumentation directive: insert a structure marker on the CFG
+/// edge (fromBlock --succIndex--> *).
+struct EdgeMarker {
+  int fromBlock;
+  int succIndex;
+  MarkerType type;
+  int structId;
+  int depth;  // structure nesting depth, for ordering on shared edges
+};
+
+/// Per-function analysis product.
+struct FunctionCst {
+  std::unique_ptr<Node> tree;  // Root node; children = function content
+  std::vector<EdgeMarker> markers;
+  int numLoops = 0;
+  int numBranchPaths = 0;
+};
+
+/// Structured walker: builds the intra-procedural CST (Algorithm 1) and
+/// the marker plan in one pass.
+class FunctionAnalyzer {
+ public:
+  FunctionAnalyzer(const ir::Function& f)
+      : f_(f),
+        cfg_(f),
+        dom_(DomTree::build(f)),
+        post_(DomTree::buildPost(f)),
+        loops_(LoopInfo::build(f, dom_)) {}
+
+  FunctionCst run() {
+    FunctionCst out;
+    out.tree = std::make_unique<Node>();
+    out.tree->kind = NodeKind::Root;
+    out.tree->func = f_.name;
+    out.tree->label = "func " + f_.name;
+    walk(0, post_.root(), -1, out.tree.get(), 0);
+    out.markers = std::move(markers_);
+    out.numLoops = numLoops_;
+    out.numBranchPaths = numBranchPaths_;
+    return out;
+  }
+
+ private:
+  const ir::Function& f_;
+  CfgView cfg_;
+  DomTree dom_;
+  DomTree post_;
+  LoopInfo loops_;
+  std::vector<EdgeMarker> markers_;
+  int nextStructId_ = 0;
+  int numLoops_ = 0;
+  int numBranchPaths_ = 0;
+  std::set<int> visited_;  // irreducibility guard
+
+  const ir::BasicBlock& block(int id) const {
+    return f_.blocks[static_cast<size_t>(id)];
+  }
+
+  int succIndexOf(int from, int to) const {
+    const auto succs = block(from).successors();
+    for (size_t i = 0; i < succs.size(); ++i)
+      if (succs[i] == to) return static_cast<int>(i);
+    CYP_FAIL(f_.name << ": no edge " << from << "->" << to);
+  }
+
+  void mark(int from, int succIndex, MarkerType type, int structId, int depth) {
+    markers_.push_back(EdgeMarker{from, succIndex, type, structId, depth});
+  }
+
+  void appendLeaves(const ir::BasicBlock& b, Node* parent) {
+    for (const ir::Instr& i : b.instrs) {
+      if (i.kind == ir::InstrKind::MpiCall) {
+        auto leaf = std::make_unique<Node>();
+        leaf->kind = NodeKind::Comm;
+        leaf->op = i.mpiOp;
+        leaf->callSiteId = i.callSiteId;
+        leaf->func = f_.name;
+        leaf->label = ir::mpiOpName(i.mpiOp);
+        parent->addChild(std::move(leaf));
+      } else if (i.kind == ir::InstrKind::Call) {
+        auto ph = std::make_unique<Node>();
+        ph->kind = NodeKind::Call;
+        ph->callInstrId = i.callInstrId;
+        ph->func = i.callee;  // placeholder: callee name (resolved at inline)
+        ph->label = "call " + i.callee + " from " + f_.name;
+        parent->addChild(std::move(ph));
+      }
+    }
+  }
+
+  /// Walk the region starting at `cur` until reaching `stop` (a block id
+  /// or the post-dominator virtual exit), appending CST children of
+  /// `parent` in program order. `activeLoop` is the loop whose body we
+  /// are inside (its header terminates iterations), as a loops_ index.
+  void walk(int cur, int stop, int activeLoop, Node* parent, int depth) {
+    while (cur != stop) {
+      // Both arms of an inner branch returned: nothing left in this region.
+      if (cur == post_.root()) return;
+      // Back edge of the active loop reached via a region whose stop was
+      // widened (e.g. a branch arm that returns): iteration ends here.
+      if (activeLoop != -1 &&
+          cur == loops_.loops()[static_cast<size_t>(activeLoop)].header) {
+        return;
+      }
+      CYP_CHECK(cur >= 0 && cur < cfg_.numBlocks(),
+                f_.name << ": walk out of range at block " << cur);
+      // Entering a loop whose header is `cur`?
+      const int loopIdx = loops_.loopAtHeader(cur);
+      if (loopIdx != -1 && loopIdx != activeLoop) {
+        cur = enterLoop(loopIdx, parent, depth);
+        continue;
+      }
+      CYP_CHECK(visited_.insert(cur).second,
+                f_.name << ": block " << cur
+                        << " reached twice — unsupported (irreducible?) CFG");
+      const ir::BasicBlock& b = block(cur);
+      appendLeaves(b, parent);
+
+      switch (b.term.kind) {
+        case ir::TermKind::Ret:
+          return;
+        case ir::TermKind::Br: {
+          cur = b.term.target;
+          break;
+        }
+        case ir::TermKind::CondBr: {
+          cur = enterBranch(cur, activeLoop, parent, depth);
+          break;
+        }
+      }
+    }
+  }
+
+  /// Handle a loop whose header is the current block; returns the block
+  /// where execution continues after the loop.
+  int enterLoop(int loopIdx, Node* parent, int depth) {
+    const Loop& L = loops_.loops()[static_cast<size_t>(loopIdx)];
+    const int header = L.header;
+    const ir::BasicBlock& hb = block(header);
+    CYP_CHECK(hb.term.kind == ir::TermKind::CondBr,
+              f_.name << ": loop header " << header
+                      << " is not a conditional — unsupported loop shape");
+    CYP_CHECK(visited_.insert(header).second,
+              f_.name << ": loop header " << header << " reached twice");
+    // Loop headers produced by the frontend carry no instructions that
+    // could emit events; any MPI call in a header would escape the loop
+    // vertex, so reject it loudly.
+    for (const ir::Instr& i : hb.instrs) {
+      CYP_CHECK(i.kind != ir::InstrKind::MpiCall && i.kind != ir::InstrKind::Call,
+                f_.name << ": call inside loop-header block is unsupported");
+    }
+
+    const auto succs = hb.successors();
+    int bodyEntry = -1, exitTarget = -1;
+    int bodyIndex = -1, exitIndex = -1;
+    for (size_t i = 0; i < succs.size(); ++i) {
+      if (L.contains(succs[i])) {
+        CYP_CHECK(bodyEntry == -1,
+                  f_.name << ": loop header with two in-loop successors");
+        bodyEntry = succs[i];
+        bodyIndex = static_cast<int>(i);
+      } else {
+        CYP_CHECK(exitTarget == -1,
+                  f_.name << ": loop header with two exit successors");
+        exitTarget = succs[i];
+        exitIndex = static_cast<int>(i);
+      }
+    }
+    CYP_CHECK(bodyEntry != -1 && exitTarget != -1,
+              f_.name << ": malformed loop at header " << header);
+
+    auto loopNode = std::make_unique<Node>();
+    loopNode->kind = NodeKind::Loop;
+    loopNode->structId = nextStructId_++;
+    loopNode->func = f_.name;
+    loopNode->label = "loop@" + f_.name + "#" + std::to_string(loopNode->structId);
+    ++numLoops_;
+
+    // Enter fires once per iteration (header -> body edge); Exit fires on
+    // every edge leaving the loop body.
+    mark(header, bodyIndex, MarkerType::Enter, loopNode->structId, depth);
+    for (const auto& [from, to] : L.exitEdges) {
+      mark(from, succIndexOf(from, to), MarkerType::Exit, loopNode->structId, depth);
+    }
+    (void)exitIndex;
+
+    Node* raw = loopNode.get();
+    parent->addChild(std::move(loopNode));
+    walk(bodyEntry, header, loopIdx, raw, depth + 1);
+    return exitTarget;
+  }
+
+  /// Handle a non-header conditional; returns the join block (or the
+  /// post-dominator virtual exit when both arms return).
+  int enterBranch(int branchBlock, int activeLoop, Node* parent, int depth) {
+    const ir::BasicBlock& b = block(branchBlock);
+    const int join = post_.idom(branchBlock);
+    const auto succs = b.successors();
+    CYP_CHECK(succs.size() == 2, "conditional with wrong successor count");
+
+    for (int path = 0; path < 2; ++path) {
+      const int entry = succs[static_cast<size_t>(path)];
+      auto pathNode = std::make_unique<Node>();
+      pathNode->kind = NodeKind::Branch;
+      pathNode->structId = nextStructId_++;
+      pathNode->pathIndex = path;
+      pathNode->func = f_.name;
+      pathNode->label = "br@" + f_.name + "#" + std::to_string(pathNode->structId) +
+                        (path == 0 ? ".then" : ".else");
+      ++numBranchPaths_;
+
+      if (entry == join) {
+        // Empty arm: enter and exit on the branch edge itself.
+        mark(branchBlock, path, MarkerType::Enter, pathNode->structId, depth);
+        mark(branchBlock, path, MarkerType::Exit, pathNode->structId, depth);
+      } else {
+        mark(branchBlock, path, MarkerType::Enter, pathNode->structId, depth);
+        walk(entry, join, activeLoop, pathNode.get(), depth + 1);
+        // Exit on every edge into the join coming from this arm (blocks
+        // dominated by the arm's entry). Arms ending in Ret have no such
+        // edge; the runtime auto-closes structures on function return.
+        if (join != post_.root()) {
+          for (int pred : cfg_.preds[static_cast<size_t>(join)]) {
+            if (pred == branchBlock || !dom_.reachable(pred)) continue;
+            if (!dom_.dominates(entry, pred)) continue;
+            const auto predSuccs = block(pred).successors();
+            for (size_t si = 0; si < predSuccs.size(); ++si) {
+              if (predSuccs[si] == join) {
+                mark(pred, static_cast<int>(si), MarkerType::Exit,
+                     pathNode->structId, depth);
+              }
+            }
+          }
+        }
+      }
+      parent->addChild(std::move(pathNode));
+    }
+    return join;
+  }
+};
+
+/// hasComm fixed point over the call graph: a function can emit events
+/// if it contains an MPI call or (transitively) calls one that does.
+std::map<std::string, bool> computeHasComm(const ir::Module& m) {
+  std::map<std::string, bool> hasComm;
+  for (const auto& f : m.functions) {
+    bool direct = false;
+    for (const auto& b : f->blocks)
+      for (const auto& i : b.instrs)
+        if (i.kind == ir::InstrKind::MpiCall) direct = true;
+    hasComm[f->name] = direct;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto& f : m.functions) {
+      if (hasComm[f->name]) continue;
+      for (const auto& b : f->blocks) {
+        for (const auto& i : b.instrs) {
+          if (i.kind == ir::InstrKind::Call && hasComm[i.callee]) {
+            hasComm[f->name] = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+  return hasComm;
+}
+
+/// Pre-inline prune (paper §III-B): drop call placeholders to comm-free
+/// functions, then bottom-up drop structure nodes with no surviving
+/// children (equivalent to the paper's iterative leaf-deletion DFS).
+void pruneIntra(Node* n, const std::map<std::string, bool>& hasComm) {
+  auto& kids = n->children;
+  for (auto& c : kids) pruneIntra(c.get(), hasComm);
+  kids.erase(std::remove_if(kids.begin(), kids.end(),
+                            [&](const std::unique_ptr<Node>& c) {
+                              switch (c->kind) {
+                                case NodeKind::Comm:
+                                  return false;
+                                case NodeKind::Call:
+                                  return !hasComm.at(c->func);
+                                case NodeKind::Loop:
+                                case NodeKind::Branch:
+                                  return c->children.empty();
+                                case NodeKind::Root:
+                                  return false;
+                              }
+                              return false;
+                            }),
+             kids.end());
+}
+
+void collectSurvivingStructs(const Node* n, std::set<int>& out) {
+  if (n->kind == NodeKind::Loop || n->kind == NodeKind::Branch)
+    if (n->structId >= 0) out.insert(n->structId);
+  for (const auto& c : n->children) collectSurvivingStructs(c.get(), out);
+}
+
+std::unique_ptr<Node> cloneNode(const Node& n) {
+  auto c = std::make_unique<Node>();
+  c->kind = n.kind;
+  c->structId = n.structId;
+  c->pathIndex = n.pathIndex;
+  c->callSiteId = n.callSiteId;
+  c->op = n.op;
+  c->callInstrId = n.callInstrId;
+  c->recursionLoop = n.recursionLoop;
+  c->func = n.func;
+  c->label = n.label;
+  for (const auto& k : n.children) c->addChild(cloneNode(*k));
+  return c;
+}
+
+class Inliner {
+ public:
+  Inliner(const std::map<std::string, FunctionCst>& intra, const CallGraph& pcg)
+      : intra_(intra), pcg_(pcg) {}
+
+  /// Build the inlined content of function `name` into `dest`.
+  void inlineInto(Node* dest, const std::string& name,
+                  std::vector<std::string>& path) {
+    const FunctionCst& src = intra_.at(name);
+    path.push_back(name);
+    for (const auto& child : src.tree->children) {
+      appendInlined(dest, *child, path);
+    }
+    path.pop_back();
+  }
+
+  bool isRecursive(const std::string& name) const {
+    const int node = pcg_.nodeOf(name);
+    return node >= 0 && pcg_.isRecursive(node);
+  }
+
+ private:
+  const std::map<std::string, FunctionCst>& intra_;
+  const CallGraph& pcg_;
+
+  void appendInlined(Node* dest, const Node& src, std::vector<std::string>& path) {
+    if (src.kind == NodeKind::Call) {
+      const std::string& callee = src.func;
+      if (std::find(path.begin(), path.end(), callee) != path.end()) {
+        // Recursive back edge: elided; at runtime the call re-enters the
+        // ancestor instance's pseudo-loop as a new iteration.
+        return;
+      }
+      auto inst = std::make_unique<Node>();
+      inst->kind = NodeKind::Call;
+      inst->callInstrId = src.callInstrId;
+      inst->func = callee;
+      inst->label = "inline " + callee;
+      Node* content = inst.get();
+      if (isRecursive(callee)) {
+        // Paper Figure 8: pseudo-loop at the entry of the recursive
+        // function; recursion depth becomes the iteration count.
+        auto pseudo = std::make_unique<Node>();
+        pseudo->kind = NodeKind::Loop;
+        pseudo->recursionLoop = true;
+        pseudo->func = callee;
+        pseudo->label = "recursion-loop " + callee;
+        content = inst->addChild(std::move(pseudo));
+      }
+      inlineInto(content, callee, path);
+      dest->addChild(std::move(inst));
+      return;
+    }
+    auto copy = std::make_unique<Node>();
+    copy->kind = src.kind;
+    copy->structId = src.structId;
+    copy->pathIndex = src.pathIndex;
+    copy->callSiteId = src.callSiteId;
+    copy->op = src.op;
+    copy->callInstrId = src.callInstrId;
+    copy->recursionLoop = src.recursionLoop;
+    copy->func = src.func;
+    copy->label = src.label;
+    Node* raw = dest->addChild(std::move(copy));
+    for (const auto& k : src.children) appendInlined(raw, *k, path);
+  }
+};
+
+/// Apply the (filtered) marker plan to the IR: split each marked edge
+/// with a fresh block holding the markers in nesting order.
+void applyMarkers(ir::Function& f, std::vector<EdgeMarker> markers,
+                  const std::set<int>& surviving) {
+  markers.erase(std::remove_if(markers.begin(), markers.end(),
+                               [&](const EdgeMarker& m) {
+                                 return !surviving.count(m.structId);
+                               }),
+                markers.end());
+  if (markers.empty()) return;
+
+  // Group by edge.
+  std::map<std::pair<int, int>, std::vector<EdgeMarker>> byEdge;
+  for (const EdgeMarker& m : markers)
+    byEdge[{m.fromBlock, m.succIndex}].push_back(m);
+
+  for (auto& [edge, list] : byEdge) {
+    // Exits first (innermost structure first), then enters (outermost
+    // first), so nesting is preserved when one edge carries several.
+    std::stable_sort(list.begin(), list.end(),
+                     [](const EdgeMarker& a, const EdgeMarker& b) {
+                       const bool ax = a.type == MarkerType::Exit;
+                       const bool bx = b.type == MarkerType::Exit;
+                       if (ax != bx) return ax;  // exits before enters
+                       if (ax) return a.depth > b.depth;
+                       return a.depth < b.depth;
+                     });
+    auto [from, succIndex] = edge;
+    ir::Terminator& term = f.blocks[static_cast<size_t>(from)].term;
+    int* slot = nullptr;
+    if (term.kind == ir::TermKind::Br) {
+      CYP_CHECK(succIndex == 0, "marker on bad Br successor index");
+      slot = &term.target;
+    } else {
+      CYP_CHECK(term.kind == ir::TermKind::CondBr, "marker on Ret edge");
+      slot = succIndex == 0 ? &term.target : &term.elseTarget;
+    }
+    const int target = *slot;
+    const int mb = f.addBlock("markers." + std::to_string(from) + "." +
+                              std::to_string(succIndex));
+    for (const EdgeMarker& m : list) {
+      f.blocks[static_cast<size_t>(mb)].instrs.push_back(
+          m.type == MarkerType::Enter ? ir::Instr::structEnter(m.structId)
+                                      : ir::Instr::structExit(m.structId));
+    }
+    f.blocks[static_cast<size_t>(mb)].term = ir::Terminator::br(target);
+    // term reference may be invalidated by addBlock; re-fetch.
+    ir::Terminator& term2 = f.blocks[static_cast<size_t>(from)].term;
+    int* slot2 = term2.kind == ir::TermKind::Br
+                     ? &term2.target
+                     : (succIndex == 0 ? &term2.target : &term2.elseTarget);
+    CYP_CHECK(*slot2 == target, "edge retarget raced");
+    *slot2 = mb;
+  }
+}
+
+void countNodes(const Node& n, CompileStats& stats) {
+  ++stats.numNodes;
+  switch (n.kind) {
+    case NodeKind::Loop: ++stats.numLoops; break;
+    case NodeKind::Branch: ++stats.numBranches; break;
+    case NodeKind::Comm: ++stats.numCommVertices; break;
+    default: break;
+  }
+  for (const auto& c : n.children) countNodes(*c, stats);
+}
+
+StaticResult build(ir::Module& m, bool instrument) {
+  Stopwatch watch;
+  StaticResult out;
+
+  // Phase 1: intra-procedural analysis per function (Algorithm 1).
+  std::map<std::string, FunctionCst> intra;
+  for (const auto& f : m.functions) {
+    intra.emplace(f->name, FunctionAnalyzer(*f).run());
+  }
+
+  // Phase 2: prune comm-free subtrees (paper §III-B) before planning
+  // instrumentation, so only comm-relevant structures are bracketed.
+  const auto hasComm = computeHasComm(m);
+  std::map<std::string, std::set<int>> surviving;
+  for (auto& [name, fc] : intra) {
+    pruneIntra(fc.tree.get(), hasComm);
+    std::set<int> keep;
+    collectSurvivingStructs(fc.tree.get(), keep);
+    surviving[name] = std::move(keep);
+  }
+
+  // Phase 3: inter-procedural inlining over the PCG (Algorithm 2).
+  const CallGraph pcg = CallGraph::build(m);
+  Inliner inliner(intra, pcg);
+  auto root = std::make_unique<Node>();
+  root->kind = NodeKind::Root;
+  root->func = m.entry;
+  root->label = "program";
+  Node* content = root.get();
+  if (inliner.isRecursive(m.entry)) {
+    auto pseudo = std::make_unique<Node>();
+    pseudo->kind = NodeKind::Loop;
+    pseudo->recursionLoop = true;
+    pseudo->func = m.entry;
+    pseudo->label = "recursion-loop " + m.entry;
+    content = root->addChild(std::move(pseudo));
+  }
+  std::vector<std::string> path;
+  inliner.inlineInto(content, m.entry, path);
+  out.cst.reset(std::move(root));
+
+  // Phase 4: instrumentation by edge splitting.
+  if (instrument) {
+    for (const auto& f : m.functions) {
+      applyMarkers(*f, intra.at(f->name).markers, surviving.at(f->name));
+    }
+    ir::verify(m);
+  }
+
+  out.stats.cstSeconds = watch.seconds();
+  out.stats.numFunctions = static_cast<int>(m.functions.size());
+  countNodes(*out.cst.root(), out.stats);
+  return out;
+}
+
+}  // namespace
+
+StaticResult analyzeAndInstrument(ir::Module& m) { return build(m, true); }
+
+Tree buildProgramCst(const ir::Module& m) {
+  // The analysis itself never mutates the module; reuse build() with
+  // instrumentation disabled.
+  return build(const_cast<ir::Module&>(m), false).cst;
+}
+
+}  // namespace cypress::cst

@@ -1,0 +1,55 @@
+// CST construction and IR instrumentation (paper §III).
+//
+// Per function, a single structured walk over the CFG (using dominators,
+// post-dominators and dominator-based natural loops) produces BOTH the
+// intra-procedural CST (paper Algorithm 1) and the instrumentation plan:
+// which CFG edges receive struct_enter/struct_exit markers (the paper's
+// PMPI_COMM_Structure / PMPI_COMM_Structure_Exit pair, Figure 9). Doing
+// both in one pass guarantees the markers and the tree agree exactly.
+//
+// The inter-procedural pass (paper Algorithm 2) inlines callee CSTs
+// bottom-up over the program call graph, converting recursive calls into
+// pseudo-loops (paper Figure 8, after Emami et al.): each recursive
+// function instance is wrapped in a Loop vertex with recursionLoop=true,
+// and calls back to an ancestor instance are elided — at runtime they
+// re-enter the ancestor's pseudo-loop as a new iteration.
+//
+// Pruning (paper §III-B) removes every vertex that cannot produce a
+// communication event *before* instrumentation is planned, so only
+// comm-relevant structures are bracketed at runtime.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cst/tree.hpp"
+#include "ir/ir.hpp"
+
+namespace cypress::cst {
+
+/// Static-phase statistics (Table I and diagnostics).
+struct CompileStats {
+  double cstSeconds = 0.0;  // time spent building the CST + instrumenting
+  int numFunctions = 0;
+  int numLoops = 0;         // loop vertices in the final tree
+  int numBranches = 0;      // branch-path vertices in the final tree
+  int numCommVertices = 0;  // communication leaves in the final tree
+  int numNodes = 0;         // total vertices (incl. root / call instances)
+};
+
+struct StaticResult {
+  Tree cst;
+  CompileStats stats;
+};
+
+/// Build the final program CST and instrument `m` in place with
+/// struct_enter/struct_exit markers. Requires a verified module with
+/// numbered call sites. Throws cypress::Error on CFG shapes the
+/// structured builder does not support (irreducible control flow).
+StaticResult analyzeAndInstrument(ir::Module& m);
+
+/// Build the CST without modifying the IR (analysis-only; used by tests
+/// and the compile-overhead bench).
+Tree buildProgramCst(const ir::Module& m);
+
+}  // namespace cypress::cst

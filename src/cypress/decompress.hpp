@@ -1,0 +1,28 @@
+// Sequence-preserving decompression (paper §V).
+//
+// The merged trace tree is traversed in pre-order; loop vertices replay
+// their recorded iteration counts, branch vertices their recorded
+// outcomes, and comm leaves print the stored records — reproducing each
+// rank's original event sequence exactly (recursion pseudo-loops are the
+// paper's documented approximation: event multiset preserved, unwind
+// order linearized).
+#pragma once
+
+#include <vector>
+
+#include "cypress/merge.hpp"
+#include "trace/event.hpp"
+
+namespace cypress::core {
+
+/// Reconstruct the full event sequence of one rank. Timing fields are
+/// filled from the recorded statistics (mean values); all communication
+/// content (op, peers, sizes, tags, wildcard matches, request mapping)
+/// is exact. Throws cypress::Error if the tree's payload is inconsistent
+/// (any cursor left unconsumed is a bug, not a warning).
+std::vector<trace::Event> decompressRank(const MergedCtt& m, int rank);
+
+/// Decompress every rank (convenience for tests and the replay harness).
+trace::RawTrace decompressAll(const MergedCtt& m, int numRanks);
+
+}  // namespace cypress::core

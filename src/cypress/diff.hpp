@@ -1,0 +1,35 @@
+// Structural diff of two merged CYPRESS traces.
+//
+// Because both traces share the program's CST shape, differences can be
+// localized to vertices instead of raw event offsets: "the loop at
+// main#2 ran 40 iterations instead of 20", "ranks 8..15 stopped taking
+// this branch", "message size changed at this call site". This is the
+// regression-analysis workflow compressed traces enable (and raw traces
+// make painful). Exposed as `cyptrace diff`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cypress/merge.hpp"
+
+namespace cypress::core {
+
+struct DiffEntry {
+  int gid = -1;
+  std::string what;  // human-readable description of the difference
+};
+
+struct TraceDiff {
+  bool sameStructure = false;  // CSTs identical (same program)
+  std::vector<DiffEntry> entries;
+
+  bool identical() const { return sameStructure && entries.empty(); }
+  std::string toString() const;
+};
+
+/// Compare two merged traces. When the CSTs differ the diff stops at the
+/// structural level; otherwise every vertex's payload is compared.
+TraceDiff diffTraces(const MergedCtt& a, const MergedCtt& b);
+
+}  // namespace cypress::core

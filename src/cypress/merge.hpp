@@ -1,0 +1,94 @@
+// Inter-process CTT merging (paper §IV-B) and the on-disk CYPRESS trace.
+//
+// All per-process CTTs share the CST's shape, so merging two (merged)
+// trees is a single simultaneous pre-order walk comparing the payloads
+// at each vertex — O(n) per pair, versus the O(n²) alignment dynamic
+// methods need. mergeAll() combines P processes with a binary-tree
+// reduction (the paper's parallel merge, O(n log P) total).
+//
+// Per vertex the merged tree keeps a list of payload variants, each
+// annotated with the set of ranks sharing it (stride-encoded RankSet);
+// in SPMD programs the list has one or a few entries (Fig. 13).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cypress/ctt.hpp"
+#include "support/rank_set.hpp"
+#include "support/timer.hpp"
+
+namespace cypress::core {
+
+struct SeqEntry {
+  SectionSeq seq;
+  RankSet ranks;
+};
+
+struct LeafEntry {
+  std::vector<CommRecord> records;
+  /// Parent-execution ordinal per event occurrence (see Ctt::leafExec).
+  SectionSeq execOrdinals;
+  RankSet ranks;
+};
+
+/// Cross-process merged trace tree; `cst` gives the shape.
+class MergedCtt {
+ public:
+  explicit MergedCtt(const cst::Tree& cst)
+      : cst_(&cst),
+        loops_(static_cast<size_t>(cst.numNodes())),
+        taken_(static_cast<size_t>(cst.numNodes())),
+        leaves_(static_cast<size_t>(cst.numNodes())) {}
+
+  /// Wrap one process's CTT.
+  static MergedCtt fromCtt(const Ctt& ctt, int rank);
+
+  /// Absorb another merged tree (same CST). O(total entries).
+  void absorb(MergedCtt&& other);
+
+  const cst::Tree& cst() const { return *cst_; }
+  const std::vector<SeqEntry>& loopEntries(int gid) const {
+    return loops_[static_cast<size_t>(gid)];
+  }
+  const std::vector<SeqEntry>& takenEntries(int gid) const {
+    return taken_[static_cast<size_t>(gid)];
+  }
+  const std::vector<LeafEntry>& leafEntries(int gid) const {
+    return leaves_[static_cast<size_t>(gid)];
+  }
+
+  /// Serialized CYPRESS trace: compressed-text CST + payloads. This is
+  /// the byte count reported as "Cypress" trace size; apply flate on top
+  /// for "Cypress+Gzip".
+  std::vector<uint8_t> serialize() const;
+  static MergedCtt deserialize(std::span<const uint8_t> data,
+                               const cst::Tree& cst);
+
+  /// Parse the serialized form including its embedded CST (ownership of
+  /// the tree transfers to the caller via `treeOut`).
+  static MergedCtt deserializeWithTree(std::span<const uint8_t> data,
+                                       cst::Tree& treeOut);
+
+  size_t memoryBytes() const;
+
+ private:
+  template <typename Entry, typename SamePred, typename MergeFn>
+  static void absorbEntries(std::vector<Entry>& mine, std::vector<Entry>&& theirs,
+                            SamePred same, MergeFn mergeStats);
+
+  const cst::Tree* cst_;
+  std::vector<std::vector<SeqEntry>> loops_;
+  std::vector<std::vector<SeqEntry>> taken_;
+  std::vector<std::vector<LeafEntry>> leaves_;
+};
+
+/// Binary-tree reduction over per-process CTTs. `interCost`, when given,
+/// accumulates the pure merge CPU time (Fig. 18). `threads` > 1 runs each
+/// reduction level's independent pair-merges concurrently (the paper's
+/// parallel merge, §IV-B); the result is identical regardless of thread
+/// count because the pairing is fixed.
+MergedCtt mergeAll(std::vector<const Ctt*> ctts, CostMeter* interCost = nullptr,
+                   int threads = 1);
+
+}  // namespace cypress::core

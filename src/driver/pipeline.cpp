@@ -1,0 +1,161 @@
+#include "driver/pipeline.hpp"
+
+#include "flate/flate.hpp"
+#include "minic/compile.hpp"
+#include "support/timer.hpp"
+#include "trace/observer.hpp"
+#include "workloads/workloads.hpp"
+
+namespace cypress::driver {
+
+namespace {
+
+template <typename Recorders>
+double sumCostSeconds(const Recorders& recs) {
+  double total = 0.0;
+  for (const auto& r : recs) total += r->cost().totalSeconds();
+  return total;
+}
+
+template <typename Recorders>
+size_t avgMemory(const Recorders& recs) {
+  if (recs.empty()) return 0;
+  size_t total = 0;
+  for (const auto& r : recs) total += r->memoryBytes();
+  return total / recs.size();
+}
+
+}  // namespace
+
+double RunOutput::cypressIntraSeconds() const { return sumCostSeconds(cypress); }
+double RunOutput::scalaIntraSeconds() const { return sumCostSeconds(scala); }
+double RunOutput::scala2IntraSeconds() const { return sumCostSeconds(scala2); }
+
+size_t RunOutput::cypressMemoryPerRank() const { return avgMemory(cypress); }
+size_t RunOutput::scalaMemoryPerRank() const { return avgMemory(scala); }
+size_t RunOutput::scala2MemoryPerRank() const { return avgMemory(scala2); }
+
+RunOutput runSource(const std::string& name, const std::string& source,
+                    const Options& opts) {
+  RunOutput out;
+  out.workload = name;
+  out.procs = opts.procs;
+
+  // Plain compile (Table I baseline).
+  {
+    Stopwatch w;
+    auto plain = minic::compileProgram(source);
+    out.plainCompileSeconds = w.seconds();
+    (void)plain;
+  }
+
+  // Compile + CYPRESS static phase.
+  out.module = minic::compileProgram(source);
+  cst::StaticResult sr = cst::analyzeAndInstrument(*out.module);
+  out.cst = std::make_unique<cst::Tree>(std::move(sr.cst));
+  out.compileStats = sr.stats;
+
+  // Optional untraced baseline run.
+  if (opts.measureBaseline) {
+    simmpi::Engine::Config cfg = opts.engine;
+    cfg.numRanks = opts.procs;
+    simmpi::Engine engine(cfg);
+    std::vector<trace::Observer*> none(static_cast<size_t>(opts.procs), nullptr);
+    Stopwatch w;
+    vm::run(*out.module, engine, none);
+    out.baselineWallSeconds = w.seconds();
+  }
+
+  // Traced run with all requested tools observing the same events.
+  simmpi::Engine::Config cfg = opts.engine;
+  cfg.numRanks = opts.procs;
+  simmpi::Engine engine(cfg);
+  out.raw.ranks.resize(static_cast<size_t>(opts.procs));
+
+  std::vector<std::unique_ptr<trace::RawRecorder>> raws;
+  std::vector<std::unique_ptr<trace::TeeObserver>> tees;
+  std::vector<trace::Observer*> obs;
+  for (int r = 0; r < opts.procs; ++r) {
+    auto tee = std::make_unique<trace::TeeObserver>();
+    if (opts.withRaw) {
+      out.raw.ranks[static_cast<size_t>(r)].rank = r;
+      raws.push_back(std::make_unique<trace::RawRecorder>(
+          out.raw.ranks[static_cast<size_t>(r)]));
+      tee->add(raws.back().get());
+    }
+    if (opts.withCypress) {
+      out.cypress.push_back(std::make_unique<core::CttRecorder>(
+          *out.cst, r, core::CttRecorder::Options(opts.timeMode)));
+      tee->add(out.cypress.back().get());
+    }
+    if (opts.withScala) {
+      out.scala.push_back(std::make_unique<scalatrace::Recorder>(
+          r, scalatrace::Recorder::Options(scalatrace::Flavor::V1)));
+      tee->add(out.scala.back().get());
+    }
+    if (opts.withScala2) {
+      out.scala2.push_back(std::make_unique<scalatrace::Recorder>(
+          r, scalatrace::Recorder::Options(scalatrace::Flavor::V2)));
+      tee->add(out.scala2.back().get());
+    }
+    tees.push_back(std::move(tee));
+    obs.push_back(tees.back().get());
+  }
+
+  Stopwatch w;
+  out.runStats = vm::run(*out.module, engine, obs, 1ull << 34);
+  out.tracedWallSeconds = w.seconds();
+  return out;
+}
+
+RunOutput runWorkload(const std::string& name, const Options& opts) {
+  const workloads::Workload& w = workloads::get(name);
+  CYP_CHECK(w.supportsProcs(opts.procs),
+            name << " does not support " << opts.procs << " processes");
+  return runSource(name, w.source(opts.procs, opts.scale), opts);
+}
+
+core::MergedCtt mergeCypress(const RunOutput& run, CostMeter* cost) {
+  std::vector<const core::Ctt*> ctts;
+  ctts.reserve(run.cypress.size());
+  for (const auto& r : run.cypress) ctts.push_back(&r->ctt());
+  return core::mergeAll(std::move(ctts), cost);
+}
+
+SizeReport computeSizes(const RunOutput& run) {
+  SizeReport rep;
+  if (!run.raw.ranks.empty()) {
+    const auto rawBytes = run.raw.serialize();
+    rep.rawBytes = rawBytes.size();
+    rep.gzipBytes = flate::compressedSize(rawBytes);
+  }
+  if (!run.scala.empty()) {
+    std::vector<const std::vector<scalatrace::Element>*> seqs;
+    for (const auto& r : run.scala) seqs.push_back(&r->sequence());
+    CostMeter cost;
+    auto merged = scalatrace::mergeSequences(seqs, scalatrace::Flavor::V1, &cost);
+    rep.scalaBytes = merged.serialize().size();
+    rep.scalaInterSeconds = cost.totalSeconds();
+  }
+  if (!run.scala2.empty()) {
+    std::vector<const std::vector<scalatrace::Element>*> seqs;
+    for (const auto& r : run.scala2) seqs.push_back(&r->sequence());
+    CostMeter cost;
+    auto merged = scalatrace::mergeSequences(seqs, scalatrace::Flavor::V2, &cost);
+    const auto bytes = merged.serialize();
+    rep.scala2Bytes = bytes.size();
+    rep.scala2GzipBytes = flate::compressedSize(bytes);
+    rep.scala2InterSeconds = cost.totalSeconds();
+  }
+  if (!run.cypress.empty()) {
+    CostMeter cost;
+    auto merged = mergeCypress(run, &cost);
+    const auto bytes = merged.serialize();
+    rep.cypressBytes = bytes.size();
+    rep.cypressGzipBytes = flate::compressedSize(bytes);
+    rep.cypressInterSeconds = cost.totalSeconds();
+  }
+  return rep;
+}
+
+}  // namespace cypress::driver

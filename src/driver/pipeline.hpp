@@ -1,0 +1,103 @@
+// End-to-end pipeline driver: the public API a downstream user calls to
+// trace a workload with every tool and compare the results.
+//
+//   compile (MiniC)  →  static analysis + instrumentation (CST)
+//   → simulated execution with PMPI observers attached
+//   → per-tool compression, merging, sizes and overhead accounting.
+//
+// The same driver feeds the test suite, the examples and every bench
+// binary, so all reported numbers come from one code path.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cst/builder.hpp"
+#include "cypress/ctt.hpp"
+#include "cypress/merge.hpp"
+#include "scalatrace/inter.hpp"
+#include "scalatrace/recorder.hpp"
+#include "simmpi/engine.hpp"
+#include "trace/event.hpp"
+#include "vm/runner.hpp"
+
+namespace cypress::driver {
+
+struct Options {
+  int procs = 8;
+  int scale = 1;
+  bool withRaw = true;
+  bool withScala = true;
+  bool withScala2 = true;
+  bool withCypress = true;
+  core::TimeMode timeMode = core::TimeMode::MeanStddev;
+  simmpi::Engine::Config engine;  // numRanks is overwritten with `procs`
+  /// Also run once with no observers to obtain the untraced baseline
+  /// wall time (needed for overhead percentages).
+  bool measureBaseline = false;
+};
+
+/// Everything produced by one traced run.
+struct RunOutput {
+  std::string workload;
+  int procs = 0;
+
+  std::unique_ptr<ir::Module> module;
+  /// Heap-allocated so recorders' references stay valid if the RunOutput
+  /// itself is moved.
+  std::unique_ptr<cst::Tree> cst;
+  cst::CompileStats compileStats;
+  double plainCompileSeconds = 0.0;  // compile without the CYPRESS pass
+
+  trace::RawTrace raw;
+  std::vector<std::unique_ptr<core::CttRecorder>> cypress;
+  std::vector<std::unique_ptr<scalatrace::Recorder>> scala;
+  std::vector<std::unique_ptr<scalatrace::Recorder>> scala2;
+
+  vm::RunResult runStats;
+  double tracedWallSeconds = 0.0;
+  double baselineWallSeconds = 0.0;  // only when measureBaseline
+
+  /// Sum of per-rank intra-process hook costs (seconds).
+  double cypressIntraSeconds() const;
+  double scalaIntraSeconds() const;
+  double scala2IntraSeconds() const;
+
+  /// Average per-process compressor memory (bytes).
+  size_t cypressMemoryPerRank() const;
+  size_t scalaMemoryPerRank() const;
+  size_t scala2MemoryPerRank() const;
+};
+
+/// Run a named workload (see workloads::allNames()) under `opts`.
+RunOutput runWorkload(const std::string& name, const Options& opts);
+
+/// Run arbitrary MiniC source the same way (library users' entry point).
+RunOutput runSource(const std::string& name, const std::string& source,
+                    const Options& opts);
+
+/// Final trace sizes per tool (after inter-process merging), in bytes —
+/// the paper's Fig. 15 quantities. Also captures the merge CPU times
+/// (Fig. 18).
+struct SizeReport {
+  size_t rawBytes = 0;
+  size_t gzipBytes = 0;         // flate over the raw trace
+  size_t scalaBytes = 0;        // ScalaTrace merged
+  size_t scala2Bytes = 0;       // ScalaTrace-2 merged
+  size_t scala2GzipBytes = 0;   // + flate
+  size_t cypressBytes = 0;      // CYPRESS merged (CST + CTT payloads)
+  size_t cypressGzipBytes = 0;  // + flate
+
+  double scalaInterSeconds = 0.0;
+  double scala2InterSeconds = 0.0;
+  double cypressInterSeconds = 0.0;
+};
+
+SizeReport computeSizes(const RunOutput& run);
+
+/// Merge the CYPRESS CTTs of a run (exposed for decompression/replay).
+core::MergedCtt mergeCypress(const RunOutput& run, CostMeter* cost = nullptr);
+
+}  // namespace cypress::driver

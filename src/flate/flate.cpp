@@ -1,0 +1,216 @@
+#include "flate/flate.hpp"
+
+#include <array>
+#include <cstring>
+
+#include "flate/bitio.hpp"
+#include "flate/huffman.hpp"
+#include "flate/lz77.hpp"
+#include "support/bytebuf.hpp"
+#include "support/error.hpp"
+
+namespace cypress::flate {
+
+namespace {
+
+constexpr char kMagic[4] = {'C', 'Y', 'F', '1'};
+constexpr int kNumLitLen = 286;  // 0..255 literals, 256 EOB, 257..285 lengths
+constexpr int kNumDist = 30;
+constexpr int kEob = 256;
+
+// DEFLATE length codes: symbol 257+i encodes lengths [base[i],
+// base[i]+2^extra[i]-1].
+constexpr uint16_t kLenBase[29] = {3,  4,  5,  6,  7,  8,  9,  10, 11,  13,
+                                   15, 17, 19, 23, 27, 31, 35, 43, 51,  59,
+                                   67, 83, 99, 115, 131, 163, 195, 227, 258};
+constexpr uint8_t kLenExtra[29] = {0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2,
+                                   2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0};
+constexpr uint16_t kDistBase[30] = {
+    1,    2,    3,    4,    5,    7,     9,     13,    17,    25,
+    33,   49,   65,   97,   129,  193,   257,   385,   513,   769,
+    1025, 1537, 2049, 3073, 4097, 6145,  8193,  12289, 16385, 24577};
+constexpr uint8_t kDistExtra[30] = {0, 0, 0,  0,  1,  1,  2,  2,  3,  3,
+                                    4, 4, 5,  5,  6,  6,  7,  7,  8,  8,
+                                    9, 9, 10, 10, 11, 11, 12, 12, 13, 13};
+
+int lengthSymbol(int len) {
+  for (int i = 28; i >= 0; --i)
+    if (len >= kLenBase[i]) return i;
+  CYP_FAIL("flate: match length below minimum: " << len);
+}
+
+int distSymbol(int dist) {
+  for (int i = 29; i >= 0; --i)
+    if (dist >= kDistBase[i]) return i;
+  CYP_FAIL("flate: distance below minimum: " << dist);
+}
+
+std::array<uint32_t, 256> makeCrcTable() {
+  std::array<uint32_t, 256> t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    t[i] = c;
+  }
+  return t;
+}
+
+const std::array<uint32_t, 256>& crcTable() {
+  static const auto table = makeCrcTable();
+  return table;
+}
+
+// Pack code-length tables as 4-bit nibbles (lengths are <= 15).
+void writeLengths(ByteWriter& w, std::span<const uint8_t> lengths) {
+  for (size_t i = 0; i < lengths.size(); i += 2) {
+    uint8_t lo = lengths[i];
+    uint8_t hi = (i + 1 < lengths.size()) ? lengths[i + 1] : 0;
+    w.u8(static_cast<uint8_t>(lo | (hi << 4)));
+  }
+}
+
+std::vector<uint8_t> readLengths(ByteReader& r, size_t n) {
+  std::vector<uint8_t> lengths(n);
+  for (size_t i = 0; i < n; i += 2) {
+    uint8_t b = r.u8();
+    lengths[i] = b & 0x0F;
+    if (i + 1 < n) lengths[i + 1] = b >> 4;
+  }
+  return lengths;
+}
+
+}  // namespace
+
+uint32_t crc32(std::span<const uint8_t> data) {
+  const auto& t = crcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (uint8_t b : data) c = t[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<uint8_t> compress(std::span<const uint8_t> data, Level level) {
+  ByteWriter w;
+  w.raw(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(kMagic), 4));
+  w.uv(data.size());
+  w.u32fixed(crc32(data));
+
+  if (data.empty()) return w.take();
+
+  const auto tokens = tokenize(data, static_cast<int>(level));
+
+  // Symbol frequencies.
+  std::vector<uint64_t> litFreq(kNumLitLen, 0), distFreq(kNumDist, 0);
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      litFreq[t.literal]++;
+    } else {
+      litFreq[static_cast<size_t>(257 + lengthSymbol(t.length))]++;
+      distFreq[static_cast<size_t>(distSymbol(t.distance))]++;
+    }
+  }
+  litFreq[kEob]++;
+
+  const auto litLens = buildCodeLengths(litFreq);
+  const auto distLens = buildCodeLengths(distFreq);
+  const auto litCodes = canonicalCodes(litLens);
+  const auto distCodes = canonicalCodes(distLens);
+
+  // Emit the Huffman block.
+  ByteWriter block;
+  writeLengths(block, litLens);
+  writeLengths(block, distLens);
+  BitWriter bw;
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      bw.put(litCodes[t.literal], litLens[t.literal]);
+    } else {
+      const int ls = lengthSymbol(t.length);
+      const size_t lsym = static_cast<size_t>(257 + ls);
+      bw.put(litCodes[lsym], litLens[lsym]);
+      if (kLenExtra[ls]) bw.put(static_cast<uint32_t>(t.length - kLenBase[ls]), kLenExtra[ls]);
+      const int ds = distSymbol(t.distance);
+      bw.put(distCodes[static_cast<size_t>(ds)], distLens[static_cast<size_t>(ds)]);
+      if (kDistExtra[ds])
+        bw.put(static_cast<uint32_t>(t.distance - kDistBase[ds]), kDistExtra[ds]);
+    }
+  }
+  bw.put(litCodes[kEob], litLens[kEob]);
+  auto bits = bw.take();
+  block.uv(bits.size());
+  block.raw(bits);
+
+  if (block.size() + 1 >= data.size() + 1) {
+    // Incompressible: stored block.
+    w.u8(0);
+    w.raw(data);
+  } else {
+    w.u8(1);
+    w.raw(block.bytes());
+  }
+  return w.take();
+}
+
+std::vector<uint8_t> decompress(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  auto magic = r.raw(4);
+  CYP_CHECK(std::memcmp(magic.data(), kMagic, 4) == 0, "flate: bad magic");
+  const uint64_t originalSize = r.uv();
+  const uint32_t crc = r.u32fixed();
+
+  std::vector<uint8_t> out;
+  out.reserve(originalSize);
+  if (originalSize > 0) {
+    const uint8_t kind = r.u8();
+    if (kind == 0) {
+      auto raw = r.raw(originalSize);
+      out.assign(raw.begin(), raw.end());
+    } else {
+      CYP_CHECK(kind == 1, "flate: unknown block kind " << int(kind));
+      const auto litLens = readLengths(r, kNumLitLen);
+      const auto distLens = readLengths(r, kNumDist);
+      HuffmanDecoder litDec(litLens), distDec(distLens);
+      const uint64_t nbits = r.uv();
+      BitReader br(r.raw(nbits));
+      while (true) {
+        const int sym = litDec.decode(br);
+        if (sym == kEob) break;
+        if (sym < 256) {
+          out.push_back(static_cast<uint8_t>(sym));
+          continue;
+        }
+        const int ls = sym - 257;
+        CYP_CHECK(ls >= 0 && ls < 29, "flate: bad length symbol " << sym);
+        uint32_t len = kLenBase[ls];
+        if (kLenExtra[ls]) len += br.get(kLenExtra[ls]);
+        const int ds = distDec.decode(br);
+        CYP_CHECK(ds >= 0 && ds < 30, "flate: bad distance symbol " << ds);
+        uint32_t dist = kDistBase[ds];
+        if (kDistExtra[ds]) dist += br.get(kDistExtra[ds]);
+        CYP_CHECK(dist <= out.size(), "flate: back-reference before start");
+        size_t from = out.size() - dist;
+        for (uint32_t i = 0; i < len; ++i) out.push_back(out[from + i]);
+      }
+    }
+  }
+  CYP_CHECK(out.size() == originalSize,
+            "flate: size mismatch " << out.size() << " vs " << originalSize);
+  CYP_CHECK(crc32(out) == crc, "flate: CRC mismatch");
+  return out;
+}
+
+size_t compressedSize(std::span<const uint8_t> data, Level level) {
+  return compress(data, level).size();
+}
+
+std::vector<uint8_t> compressString(const std::string& s, Level level) {
+  return compress(std::span<const uint8_t>(
+                      reinterpret_cast<const uint8_t*>(s.data()), s.size()),
+                  level);
+}
+
+std::string decompressToString(std::span<const uint8_t> data) {
+  auto bytes = decompress(data);
+  return std::string(bytes.begin(), bytes.end());
+}
+
+}  // namespace cypress::flate

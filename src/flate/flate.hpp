@@ -1,0 +1,44 @@
+// flate: a self-contained DEFLATE-style general-purpose codec.
+//
+// This is the repository's stand-in for Gzip/zlib (the baseline codec in
+// the paper's Figure 15/19 and the optional "+Gzip" post-pass on CYPRESS
+// and ScalaTrace-2 outputs). The container is:
+//
+//   magic "CYF1" | uvarint originalSize | crc32 | blocks...
+//
+// Each block: u8 kind (0 stored / 1 huffman), then the payload. Huffman
+// blocks carry two canonical code-length tables (literal/length and
+// distance alphabets, DEFLATE's tables) followed by the LSB-first bit
+// stream of LZ77 tokens terminated by an end-of-block symbol.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cypress::flate {
+
+/// Compression effort: bounds the LZ77 hash-chain walk.
+enum class Level { Fast = 16, Default = 128, Best = 1024 };
+
+/// Compress `data`; never fails (incompressible data falls back to a
+/// stored block with a few bytes of framing overhead).
+std::vector<uint8_t> compress(std::span<const uint8_t> data,
+                              Level level = Level::Default);
+
+/// Decompress a buffer produced by compress(); throws cypress::Error on
+/// corrupt input (bad magic, bad codes, CRC mismatch).
+std::vector<uint8_t> decompress(std::span<const uint8_t> data);
+
+/// Convenience: size in bytes after compression.
+size_t compressedSize(std::span<const uint8_t> data, Level level = Level::Default);
+
+/// String overloads (used by text-file artifacts such as serialized CSTs).
+std::vector<uint8_t> compressString(const std::string& s, Level level = Level::Default);
+std::string decompressToString(std::span<const uint8_t> data);
+
+/// CRC-32 (IEEE 802.3 polynomial), used for container integrity.
+uint32_t crc32(std::span<const uint8_t> data);
+
+}  // namespace cypress::flate

@@ -1,0 +1,183 @@
+#include "flate/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace cypress::flate {
+
+namespace {
+
+struct Node {
+  uint64_t freq;
+  int index;  // < 0: internal node, >= 0: symbol
+  int left = -1, right = -1;
+};
+
+// Assign tree depths by walking the Huffman tree.
+void assignDepths(const std::vector<Node>& nodes, int root, int depth,
+                  std::vector<uint8_t>& lengths) {
+  const Node& n = nodes[static_cast<size_t>(root)];
+  if (n.index >= 0) {
+    lengths[static_cast<size_t>(n.index)] = static_cast<uint8_t>(depth == 0 ? 1 : depth);
+    return;
+  }
+  assignDepths(nodes, n.left, depth + 1, lengths);
+  assignDepths(nodes, n.right, depth + 1, lengths);
+}
+
+}  // namespace
+
+std::vector<uint8_t> buildCodeLengths(std::span<const uint64_t> freqs, int maxBits) {
+  const size_t n = freqs.size();
+  std::vector<uint8_t> lengths(n, 0);
+
+  std::vector<Node> nodes;
+  auto cmp = [&nodes](int a, int b) {
+    const auto& na = nodes[static_cast<size_t>(a)];
+    const auto& nb = nodes[static_cast<size_t>(b)];
+    if (na.freq != nb.freq) return na.freq > nb.freq;
+    return a > b;  // deterministic tie-break
+  };
+  std::priority_queue<int, std::vector<int>, decltype(cmp)> heap(cmp);
+
+  for (size_t i = 0; i < n; ++i) {
+    if (freqs[i] > 0) {
+      nodes.push_back(Node{freqs[i], static_cast<int>(i)});
+      heap.push(static_cast<int>(nodes.size()) - 1);
+    }
+  }
+  if (nodes.empty()) return lengths;
+  if (nodes.size() == 1) {
+    lengths[static_cast<size_t>(nodes[0].index)] = 1;
+    return lengths;
+  }
+
+  while (heap.size() > 1) {
+    int a = heap.top();
+    heap.pop();
+    int b = heap.top();
+    heap.pop();
+    nodes.push_back(Node{nodes[static_cast<size_t>(a)].freq +
+                             nodes[static_cast<size_t>(b)].freq,
+                         -1, a, b});
+    heap.push(static_cast<int>(nodes.size()) - 1);
+  }
+  assignDepths(nodes, heap.top(), 0, lengths);
+
+  // Length-limit: clamp overlong codes to maxBits, then repair the Kraft
+  // inequality exactly using integer arithmetic in units of 2^-maxBits.
+  int maxLen = 0;
+  for (uint8_t l : lengths) maxLen = std::max(maxLen, static_cast<int>(l));
+  if (maxLen <= maxBits) return lengths;
+
+  for (uint8_t& l : lengths)
+    if (l > maxBits) l = static_cast<uint8_t>(maxBits);
+
+  const uint64_t budget = 1ull << maxBits;
+  auto kraft = [&]() {
+    uint64_t k = 0;
+    for (uint8_t l : lengths)
+      if (l) k += 1ull << (maxBits - l);
+    return k;
+  };
+  uint64_t k = kraft();
+  // Deepen codes until the tree fits. Prefer the deepest non-max code
+  // with the smallest frequency: cheapest in expected output bits.
+  while (k > budget) {
+    int pick = -1;
+    for (size_t i = 0; i < n; ++i) {
+      const uint8_t l = lengths[i];
+      if (l == 0 || l >= maxBits) continue;
+      if (pick == -1 || l > lengths[static_cast<size_t>(pick)] ||
+          (l == lengths[static_cast<size_t>(pick)] &&
+           freqs[i] < freqs[static_cast<size_t>(pick)])) {
+        pick = static_cast<int>(i);
+      }
+    }
+    CYP_CHECK(pick != -1, "flate: cannot satisfy Kraft inequality");
+    k -= 1ull << (maxBits - lengths[static_cast<size_t>(pick)] - 1);
+    lengths[static_cast<size_t>(pick)]++;
+  }
+  // Tighten: give the slack back to the most frequent symbols by
+  // shortening codes while the tree still fits.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    int pick = -1;
+    for (size_t i = 0; i < n; ++i) {
+      const uint8_t l = lengths[i];
+      if (l <= 1) continue;
+      const uint64_t gain = 1ull << (maxBits - l);  // extra cost of shortening
+      if (k + gain > budget) continue;
+      if (pick == -1 || freqs[i] > freqs[static_cast<size_t>(pick)])
+        pick = static_cast<int>(i);
+    }
+    if (pick != -1) {
+      k += 1ull << (maxBits - lengths[static_cast<size_t>(pick)]);
+      lengths[static_cast<size_t>(pick)]--;
+      improved = true;
+    }
+  }
+  CYP_CHECK(kraft() <= budget, "flate: Kraft repair failed");
+  return lengths;
+}
+
+std::vector<uint16_t> canonicalCodes(std::span<const uint8_t> lengths) {
+  uint32_t blCount[kMaxCodeBits + 1] = {};
+  for (uint8_t l : lengths) {
+    CYP_CHECK(l <= kMaxCodeBits, "flate: code length too large");
+    if (l) blCount[l]++;
+  }
+  uint32_t nextCode[kMaxCodeBits + 1] = {};
+  uint32_t code = 0;
+  for (int bits = 1; bits <= kMaxCodeBits; ++bits) {
+    code = (code + blCount[bits - 1]) << 1;
+    nextCode[bits] = code;
+  }
+  std::vector<uint16_t> codes(lengths.size(), 0);
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    const int len = lengths[i];
+    if (!len) continue;
+    uint32_t c = nextCode[len]++;
+    // Reverse bits for LSB-first emission.
+    uint32_t rev = 0;
+    for (int b = 0; b < len; ++b) rev |= ((c >> b) & 1u) << (len - 1 - b);
+    codes[i] = static_cast<uint16_t>(rev);
+  }
+  return codes;
+}
+
+HuffmanDecoder::HuffmanDecoder(std::span<const uint8_t> lengths) {
+  for (uint8_t l : lengths) {
+    CYP_CHECK(l <= kMaxCodeBits, "flate: bad decoder code length");
+    if (l) count_[l]++;
+  }
+  uint32_t code = 0;
+  uint32_t index = 0;
+  for (int bits = 1; bits <= kMaxCodeBits; ++bits) {
+    code = (code + count_[bits - 1]) << 1;
+    firstCode_[bits] = code;
+    firstIndex_[bits] = index;
+    index += count_[bits];
+  }
+  symbols_.resize(index);
+  uint32_t next[kMaxCodeBits + 1];
+  for (int bits = 0; bits <= kMaxCodeBits; ++bits) next[bits] = firstIndex_[bits];
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    const int len = lengths[s];
+    if (len) symbols_[next[len]++] = static_cast<uint16_t>(s);
+  }
+}
+
+int HuffmanDecoder::decode(BitReader& br) const {
+  uint32_t code = 0;
+  for (int len = 1; len <= kMaxCodeBits; ++len) {
+    code = (code << 1) | br.bit();
+    if (count_[len] && code - firstCode_[len] < count_[len]) {
+      return symbols_[firstIndex_[len] + (code - firstCode_[len])];
+    }
+  }
+  CYP_FAIL("flate: invalid Huffman code in stream");
+}
+
+}  // namespace cypress::flate

@@ -1,0 +1,43 @@
+// Canonical Huffman coding with zlib-style length limiting.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "flate/bitio.hpp"
+
+namespace cypress::flate {
+
+constexpr int kMaxCodeBits = 15;
+
+/// Compute length-limited Huffman code lengths for the given symbol
+/// frequencies. Symbols with zero frequency get length 0 (no code).
+/// If only one symbol is used it still receives a 1-bit code so the
+/// decoder stays well-formed.
+std::vector<uint8_t> buildCodeLengths(std::span<const uint64_t> freqs,
+                                      int maxBits = kMaxCodeBits);
+
+/// Canonical code assignment: codes ordered by (length, symbol).
+/// Returns per-symbol codes; bits are emitted LSB-first after reversal,
+/// so `codes[s]` is already bit-reversed for BitWriter::put.
+std::vector<uint16_t> canonicalCodes(std::span<const uint8_t> lengths);
+
+/// Canonical Huffman decoder over the same code-length vector.
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(std::span<const uint8_t> lengths);
+
+  /// Decode one symbol from the bit stream.
+  int decode(BitReader& br) const;
+
+ private:
+  // count_[l] = number of codes of length l; firstCode_[l] = first
+  // canonical (MSB-first) code of length l; symbol lookup by offset.
+  uint32_t count_[kMaxCodeBits + 1] = {};
+  uint32_t firstCode_[kMaxCodeBits + 1] = {};
+  uint32_t firstIndex_[kMaxCodeBits + 1] = {};
+  std::vector<uint16_t> symbols_;
+};
+
+}  // namespace cypress::flate

@@ -1,0 +1,119 @@
+#include "flate/lz77.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace cypress::flate {
+
+namespace {
+
+constexpr uint32_t kHashBits = 15;
+constexpr uint32_t kHashSize = 1u << kHashBits;
+
+inline uint32_t hash3(const uint8_t* p) {
+  // Multiplicative hash over 3 bytes.
+  uint32_t v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+               (static_cast<uint32_t>(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+struct Matcher {
+  std::span<const uint8_t> data;
+  std::vector<int32_t> head;  // hash -> most recent position
+  std::vector<int32_t> prev;  // position -> previous position in chain
+  int maxChain;
+
+  Matcher(std::span<const uint8_t> d, int chain)
+      : data(d), head(kHashSize, -1), prev(d.size(), -1), maxChain(chain) {}
+
+  void insert(size_t pos) {
+    if (pos + kMinMatch > data.size()) return;
+    uint32_t h = hash3(data.data() + pos);
+    prev[pos] = head[h];
+    head[h] = static_cast<int32_t>(pos);
+  }
+
+  /// Longest match at `pos` against earlier positions within the window.
+  /// Returns (length, distance); length 0 means no match.
+  std::pair<int, int> find(size_t pos) const {
+    if (pos + kMinMatch > data.size()) return {0, 0};
+    const size_t limit = std::min(data.size() - pos, static_cast<size_t>(kMaxMatch));
+    int bestLen = 0, bestDist = 0;
+    int32_t cand = head[hash3(data.data() + pos)];
+    int chain = maxChain;
+    while (cand >= 0 && chain-- > 0) {
+      const size_t c = static_cast<size_t>(cand);
+      if (pos - c > kWindowSize) break;
+      if (c != pos) {
+        size_t l = 0;
+        while (l < limit && data[c + l] == data[pos + l]) ++l;
+        if (static_cast<int>(l) > bestLen) {
+          bestLen = static_cast<int>(l);
+          bestDist = static_cast<int>(pos - c);
+          if (l == limit) break;
+        }
+      }
+      cand = prev[c];
+    }
+    if (bestLen < kMinMatch) return {0, 0};
+    return {bestLen, bestDist};
+  }
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::span<const uint8_t> data, int maxChain) {
+  std::vector<Token> out;
+  out.reserve(data.size() / 4 + 16);
+  Matcher m(data, maxChain);
+
+  size_t pos = 0;
+  size_t inserted = 0;  // positions [0, inserted) are in the dictionary
+  auto insertUpTo = [&](size_t end) {
+    for (; inserted < end; ++inserted) m.insert(inserted);
+  };
+
+  while (pos < data.size()) {
+    insertUpTo(pos + 1);
+    auto [len, dist] = m.find(pos);
+    if (len >= kMinMatch && pos + 1 < data.size()) {
+      // One-step lazy matching: prefer a strictly longer match at pos+1.
+      insertUpTo(pos + 2);
+      auto [len2, dist2] = m.find(pos + 1);
+      if (len2 > len) {
+        out.push_back(Token{0, 0, data[pos]});
+        pos += 1;
+        len = len2;
+        dist = dist2;
+      }
+    }
+    if (len >= kMinMatch) {
+      out.push_back(Token{static_cast<uint16_t>(len), static_cast<uint16_t>(dist), 0});
+      const size_t end = pos + static_cast<size_t>(len);
+      insertUpTo(end);
+      pos = end;
+    } else {
+      out.push_back(Token{0, 0, data[pos]});
+      pos += 1;
+    }
+  }
+  return out;
+}
+
+std::vector<uint8_t> detokenize(std::span<const Token> tokens) {
+  std::vector<uint8_t> out;
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      out.push_back(t.literal);
+    } else {
+      CYP_CHECK(t.distance > 0 && t.distance <= out.size(),
+                "lz77: bad back-reference distance " << t.distance);
+      size_t from = out.size() - t.distance;
+      for (int i = 0; i < t.length; ++i) out.push_back(out[from + static_cast<size_t>(i)]);
+    }
+  }
+  return out;
+}
+
+}  // namespace cypress::flate

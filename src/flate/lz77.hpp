@@ -1,0 +1,29 @@
+// LZ77 tokenizer with hash-chain matching and one-step lazy evaluation.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cypress::flate {
+
+/// One LZ77 token: a literal byte or a (length, distance) back-reference.
+struct Token {
+  uint16_t length = 0;    // 0 for literal, else 3..kMaxMatch
+  uint16_t distance = 0;  // 1..kWindowSize, valid when length > 0
+  uint8_t literal = 0;    // valid when length == 0
+};
+
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 258;
+constexpr int kWindowSize = 1 << 15;
+
+/// Tokenize `data`. `maxChain` bounds the hash-chain walk per position
+/// (effort/ratio trade-off, like zlib levels).
+std::vector<Token> tokenize(std::span<const uint8_t> data, int maxChain = 128);
+
+/// Reconstruct the original bytes from a token stream (testing aid; the
+/// decoder in flate.cpp reconstructs directly from the bit stream).
+std::vector<uint8_t> detokenize(std::span<const Token> tokens);
+
+}  // namespace cypress::flate

@@ -1,0 +1,69 @@
+// Expression DSL for building IR programmatically.
+//
+// MiniC is the text frontend; this header is the embedded one — a small
+// operator-overloaded wrapper over ir::Expr so C++ code can write
+//
+//   using namespace cypress::ir::dsl;
+//   auto peer = (rankv() + 1) % sizev();
+//
+// and hand the result to the ProgramBuilder (ir/builder.hpp).
+#pragma once
+
+#include "ir/ir.hpp"
+
+namespace cypress::ir::dsl {
+
+/// Move-only expression handle with arithmetic/comparison operators.
+struct E {
+  ExprPtr p;
+
+  E(ExprPtr e) : p(std::move(e)) {}           // NOLINT(google-explicit-*)
+  E(int64_t v) : p(Expr::constant(v)) {}      // NOLINT(google-explicit-*)
+  E(int v) : p(Expr::constant(v)) {}          // NOLINT(google-explicit-*)
+
+  E clone() const { return E(p->clone()); }
+  ExprPtr take() && { return std::move(p); }
+};
+
+inline E rankv() { return E(Expr::rank()); }
+inline E sizev() { return E(Expr::size()); }
+inline E cst(int64_t v) { return E(Expr::constant(v)); }
+
+/// A declared variable slot (value type; copies refer to the same slot).
+struct Var {
+  int slot = -1;
+  E ref() const { return E(Expr::var(slot)); }
+};
+
+inline E v(Var var) { return var.ref(); }
+
+namespace detail {
+inline E bin(BinOp op, E a, E b) {
+  return E(Expr::binary(op, std::move(a.p), std::move(b.p)));
+}
+}  // namespace detail
+
+inline E operator+(E a, E b) { return detail::bin(BinOp::Add, std::move(a), std::move(b)); }
+inline E operator-(E a, E b) { return detail::bin(BinOp::Sub, std::move(a), std::move(b)); }
+inline E operator*(E a, E b) { return detail::bin(BinOp::Mul, std::move(a), std::move(b)); }
+inline E operator/(E a, E b) { return detail::bin(BinOp::Div, std::move(a), std::move(b)); }
+inline E operator%(E a, E b) { return detail::bin(BinOp::Mod, std::move(a), std::move(b)); }
+inline E operator<(E a, E b) { return detail::bin(BinOp::Lt, std::move(a), std::move(b)); }
+inline E operator<=(E a, E b) { return detail::bin(BinOp::Le, std::move(a), std::move(b)); }
+inline E operator>(E a, E b) { return detail::bin(BinOp::Gt, std::move(a), std::move(b)); }
+inline E operator>=(E a, E b) { return detail::bin(BinOp::Ge, std::move(a), std::move(b)); }
+inline E operator==(E a, E b) { return detail::bin(BinOp::Eq, std::move(a), std::move(b)); }
+inline E operator!=(E a, E b) { return detail::bin(BinOp::Ne, std::move(a), std::move(b)); }
+inline E operator&&(E a, E b) { return detail::bin(BinOp::And, std::move(a), std::move(b)); }
+inline E operator||(E a, E b) { return detail::bin(BinOp::Or, std::move(a), std::move(b)); }
+inline E operator<<(E a, E b) { return detail::bin(BinOp::Shl, std::move(a), std::move(b)); }
+inline E operator>>(E a, E b) { return detail::bin(BinOp::Shr, std::move(a), std::move(b)); }
+inline E operator-(E a) { return E(Expr::unary(UnOp::Neg, std::move(a.p))); }
+inline E operator!(E a) { return E(Expr::unary(UnOp::Not, std::move(a.p))); }
+inline E minE(E a, E b) { return detail::bin(BinOp::Min, std::move(a), std::move(b)); }
+inline E maxE(E a, E b) { return detail::bin(BinOp::Max, std::move(a), std::move(b)); }
+
+/// MPI_ANY_SOURCE as an expression.
+inline E anySource() { return cst(kAnySource); }
+
+}  // namespace cypress::ir::dsl

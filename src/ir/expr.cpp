@@ -1,0 +1,144 @@
+#include "ir/expr.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace cypress::ir {
+
+int64_t evalExpr(const Expr& e, const VarSource& env) {
+  switch (e.kind) {
+    case ExprKind::Const:
+      return e.value;
+    case ExprKind::Var:
+      return env.var(e.varSlot);
+    case ExprKind::Rank:
+      return env.rank();
+    case ExprKind::Size:
+      return env.size();
+    case ExprKind::Unary: {
+      const int64_t a = evalExpr(*e.lhs, env);
+      switch (e.uop) {
+        case UnOp::Neg:
+          return -a;
+        case UnOp::Not:
+          return a == 0 ? 1 : 0;
+      }
+      CYP_FAIL("bad unary op");
+    }
+    case ExprKind::Binary: {
+      // Short-circuit forms first.
+      if (e.bop == BinOp::And) {
+        return evalExpr(*e.lhs, env) != 0 && evalExpr(*e.rhs, env) != 0 ? 1 : 0;
+      }
+      if (e.bop == BinOp::Or) {
+        return evalExpr(*e.lhs, env) != 0 || evalExpr(*e.rhs, env) != 0 ? 1 : 0;
+      }
+      const int64_t a = evalExpr(*e.lhs, env);
+      const int64_t b = evalExpr(*e.rhs, env);
+      switch (e.bop) {
+        case BinOp::Add: return a + b;
+        case BinOp::Sub: return a - b;
+        case BinOp::Mul: return a * b;
+        case BinOp::Div:
+          CYP_CHECK(b != 0, "division by zero");
+          return a / b;
+        case BinOp::Mod:
+          CYP_CHECK(b != 0, "modulo by zero");
+          return a % b;
+        case BinOp::Lt: return a < b;
+        case BinOp::Le: return a <= b;
+        case BinOp::Gt: return a > b;
+        case BinOp::Ge: return a >= b;
+        case BinOp::Eq: return a == b;
+        case BinOp::Ne: return a != b;
+        case BinOp::Shl: return a << b;
+        case BinOp::Shr: return a >> b;
+        case BinOp::Min: return std::min(a, b);
+        case BinOp::Max: return std::max(a, b);
+        case BinOp::And:
+        case BinOp::Or:
+          break;  // handled above
+      }
+      CYP_FAIL("bad binary op");
+    }
+  }
+  CYP_FAIL("bad expr kind");
+}
+
+namespace {
+
+const char* binOpName(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return "+";
+    case BinOp::Sub: return "-";
+    case BinOp::Mul: return "*";
+    case BinOp::Div: return "/";
+    case BinOp::Mod: return "%";
+    case BinOp::Lt: return "<";
+    case BinOp::Le: return "<=";
+    case BinOp::Gt: return ">";
+    case BinOp::Ge: return ">=";
+    case BinOp::Eq: return "==";
+    case BinOp::Ne: return "!=";
+    case BinOp::And: return "&&";
+    case BinOp::Or: return "||";
+    case BinOp::Shl: return "<<";
+    case BinOp::Shr: return ">>";
+    case BinOp::Min: return "min";
+    case BinOp::Max: return "max";
+  }
+  return "?";
+}
+
+void render(const Expr& e, std::ostringstream& os, const std::string* varNames,
+            size_t numVars) {
+  switch (e.kind) {
+    case ExprKind::Const:
+      os << e.value;
+      return;
+    case ExprKind::Var:
+      if (varNames && e.varSlot >= 0 && static_cast<size_t>(e.varSlot) < numVars) {
+        os << varNames[e.varSlot];
+      } else {
+        os << "v" << e.varSlot;
+      }
+      return;
+    case ExprKind::Rank:
+      os << "rank";
+      return;
+    case ExprKind::Size:
+      os << "size";
+      return;
+    case ExprKind::Unary:
+      os << (e.uop == UnOp::Neg ? "-" : "!");
+      os << '(';
+      render(*e.lhs, os, varNames, numVars);
+      os << ')';
+      return;
+    case ExprKind::Binary:
+      if (e.bop == BinOp::Min || e.bop == BinOp::Max) {
+        os << binOpName(e.bop) << '(';
+        render(*e.lhs, os, varNames, numVars);
+        os << ", ";
+        render(*e.rhs, os, varNames, numVars);
+        os << ')';
+        return;
+      }
+      os << '(';
+      render(*e.lhs, os, varNames, numVars);
+      os << ' ' << binOpName(e.bop) << ' ';
+      render(*e.rhs, os, varNames, numVars);
+      os << ')';
+      return;
+  }
+}
+
+}  // namespace
+
+std::string exprToString(const Expr& e, const std::string* varNames, size_t numVars) {
+  std::ostringstream os;
+  render(e, os, varNames, numVars);
+  return os.str();
+}
+
+}  // namespace cypress::ir

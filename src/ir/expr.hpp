@@ -1,0 +1,110 @@
+// Integer expression trees — the value language of the cypress IR.
+//
+// Workload control flow and MPI call arguments (peer ranks, message
+// sizes, tags) are integer expressions over function-local variables
+// plus the ambient `rank` and `size` of the executing process. They are
+// built by the MiniC frontend (or the builder API) and evaluated by the
+// per-rank VM.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "support/error.hpp"
+
+namespace cypress::ir {
+
+enum class BinOp {
+  Add, Sub, Mul, Div, Mod,
+  Lt, Le, Gt, Ge, Eq, Ne,
+  And, Or,
+  Shl, Shr,
+  Min, Max,
+};
+
+enum class UnOp { Neg, Not };
+
+enum class ExprKind { Const, Var, Rank, Size, Unary, Binary };
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+  int64_t value = 0;            // Const
+  int varSlot = -1;             // Var: local slot index
+  BinOp bop = BinOp::Add;       // Binary
+  UnOp uop = UnOp::Neg;         // Unary
+  ExprPtr lhs, rhs;             // Unary uses lhs only
+
+  static ExprPtr constant(int64_t v) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Const;
+    e->value = v;
+    return e;
+  }
+  static ExprPtr var(int slot) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Var;
+    e->varSlot = slot;
+    return e;
+  }
+  static ExprPtr rank() {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Rank;
+    return e;
+  }
+  static ExprPtr size() {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Size;
+    return e;
+  }
+  static ExprPtr unary(UnOp op, ExprPtr a) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Unary;
+    e->uop = op;
+    e->lhs = std::move(a);
+    return e;
+  }
+  static ExprPtr binary(BinOp op, ExprPtr a, ExprPtr b) {
+    auto e = std::make_unique<Expr>();
+    e->kind = ExprKind::Binary;
+    e->bop = op;
+    e->lhs = std::move(a);
+    e->rhs = std::move(b);
+    return e;
+  }
+
+  ExprPtr clone() const {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->value = value;
+    e->varSlot = varSlot;
+    e->bop = bop;
+    e->uop = uop;
+    if (lhs) e->lhs = lhs->clone();
+    if (rhs) e->rhs = rhs->clone();
+    return e;
+  }
+};
+
+/// Environment interface for evaluation: local variables + rank/size.
+class VarSource {
+ public:
+  virtual ~VarSource() = default;
+  virtual int64_t var(int slot) const = 0;
+  virtual int64_t rank() const = 0;
+  virtual int64_t size() const = 0;
+};
+
+/// Evaluate an expression. Division/modulo by zero throw cypress::Error
+/// (a workload bug we want loudly, not as UB).
+int64_t evalExpr(const Expr& e, const VarSource& env);
+
+/// Render an expression as text (for IR dumps and diagnostics).
+std::string exprToString(const Expr& e,
+                         const std::string* varNames = nullptr,
+                         size_t numVars = 0);
+
+}  // namespace cypress::ir

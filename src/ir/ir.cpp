@@ -1,0 +1,203 @@
+#include "ir/ir.hpp"
+
+#include <sstream>
+
+namespace cypress::ir {
+
+const char* mpiOpName(MpiOp op) {
+  switch (op) {
+    case MpiOp::Send: return "MPI_Send";
+    case MpiOp::Recv: return "MPI_Recv";
+    case MpiOp::Isend: return "MPI_Isend";
+    case MpiOp::Irecv: return "MPI_Irecv";
+    case MpiOp::Wait: return "MPI_Wait";
+    case MpiOp::Waitall: return "MPI_Waitall";
+    case MpiOp::Waitany: return "MPI_Waitany";
+    case MpiOp::Waitsome: return "MPI_Waitsome";
+    case MpiOp::Barrier: return "MPI_Barrier";
+    case MpiOp::Bcast: return "MPI_Bcast";
+    case MpiOp::Reduce: return "MPI_Reduce";
+    case MpiOp::Allreduce: return "MPI_Allreduce";
+    case MpiOp::Allgather: return "MPI_Allgather";
+    case MpiOp::Alltoall: return "MPI_Alltoall";
+    case MpiOp::Gather: return "MPI_Gather";
+    case MpiOp::Scatter: return "MPI_Scatter";
+    case MpiOp::Scan: return "MPI_Scan";
+    case MpiOp::CommSplit: return "MPI_Comm_split";
+  }
+  return "MPI_?";
+}
+
+void Module::numberCallSites() {
+  int nextSite = 0;
+  int nextCall = 0;
+  for (auto& f : functions)
+    for (auto& b : f->blocks)
+      for (auto& i : b.instrs) {
+        if (i.kind == InstrKind::MpiCall) i.callSiteId = nextSite++;
+        if (i.kind == InstrKind::Call) i.callInstrId = nextCall++;
+      }
+}
+
+namespace {
+
+void verifyExpr(const Expr& e, const Function& f, const char* where) {
+  if (e.kind == ExprKind::Var) {
+    CYP_CHECK(e.varSlot >= 0 && e.varSlot < f.numVars(),
+              f.name << ": " << where << ": var slot " << e.varSlot << " out of range");
+  }
+  if (e.lhs) verifyExpr(*e.lhs, f, where);
+  if (e.rhs) verifyExpr(*e.rhs, f, where);
+}
+
+}  // namespace
+
+void verify(const Module& m) {
+  CYP_CHECK(m.function(m.entry) != nullptr, "module entry '" << m.entry << "' missing");
+  for (const auto& fp : m.functions) {
+    const Function& f = *fp;
+    CYP_CHECK(!f.blocks.empty(), f.name << ": function has no blocks");
+    CYP_CHECK(f.numParams <= f.numVars(),
+              f.name << ": more params than variable slots");
+    const int nblocks = static_cast<int>(f.blocks.size());
+    for (const BasicBlock& b : f.blocks) {
+      for (const Instr& i : b.instrs) {
+        switch (i.kind) {
+          case InstrKind::Assign:
+            CYP_CHECK(i.destVar >= 0 && i.destVar < f.numVars(),
+                      f.name << ": assign to bad slot " << i.destVar);
+            CYP_CHECK(i.expr != nullptr, f.name << ": assign without expr");
+            verifyExpr(*i.expr, f, "assign");
+            break;
+          case InstrKind::MpiCall:
+            for (const auto& a : i.args) {
+              CYP_CHECK(a != nullptr, f.name << ": null MPI arg");
+              verifyExpr(*a, f, "mpi arg");
+            }
+            if (isNonBlockingStart(i.mpiOp) || i.mpiOp == MpiOp::Wait ||
+                i.mpiOp == MpiOp::CommSplit) {
+              CYP_CHECK(i.reqVar >= 0 && i.reqVar < f.numVars(),
+                        f.name << ": " << mpiOpName(i.mpiOp) << " bad request slot");
+            }
+            if (i.commExpr) verifyExpr(*i.commExpr, f, "mpi comm");
+            break;
+          case InstrKind::Call: {
+            const Function* callee = m.function(i.callee);
+            CYP_CHECK(callee != nullptr,
+                      f.name << ": call to unknown function '" << i.callee << "'");
+            CYP_CHECK(static_cast<int>(i.callArgs.size()) == callee->numParams,
+                      f.name << ": call to '" << i.callee << "' with "
+                             << i.callArgs.size() << " args, expected "
+                             << callee->numParams);
+            for (const auto& a : i.callArgs) verifyExpr(*a, f, "call arg");
+            break;
+          }
+          case InstrKind::Compute:
+            CYP_CHECK(i.expr != nullptr, f.name << ": compute without cost expr");
+            verifyExpr(*i.expr, f, "compute");
+            break;
+          case InstrKind::StructEnter:
+          case InstrKind::StructExit:
+            CYP_CHECK(i.structId >= 0, f.name << ": structure marker without id");
+            break;
+        }
+      }
+      switch (b.term.kind) {
+        case TermKind::Br:
+          CYP_CHECK(b.term.target >= 0 && b.term.target < nblocks,
+                    f.name << ": bad branch target " << b.term.target);
+          break;
+        case TermKind::CondBr:
+          CYP_CHECK(b.term.cond != nullptr, f.name << ": condbr without condition");
+          verifyExpr(*b.term.cond, f, "condbr");
+          CYP_CHECK(b.term.target >= 0 && b.term.target < nblocks &&
+                        b.term.elseTarget >= 0 && b.term.elseTarget < nblocks,
+                    f.name << ": bad condbr targets");
+          break;
+        case TermKind::Ret:
+          break;
+      }
+    }
+  }
+}
+
+namespace {
+
+std::string varName(const Function& f, int slot) {
+  if (slot >= 0 && slot < f.numVars()) return f.varNames[static_cast<size_t>(slot)];
+  return "v" + std::to_string(slot);
+}
+
+std::string exprStr(const Function& f, const Expr& e) {
+  return exprToString(e, f.varNames.data(), f.varNames.size());
+}
+
+}  // namespace
+
+std::string print(const Function& f) {
+  std::ostringstream os;
+  os << "func " << f.name << "(" << f.numParams << " params, " << f.numVars()
+     << " vars) {\n";
+  for (const BasicBlock& b : f.blocks) {
+    os << "  " << b.id << " (" << b.name << "):\n";
+    for (const Instr& i : b.instrs) {
+      os << "    ";
+      switch (i.kind) {
+        case InstrKind::Assign:
+          os << varName(f, i.destVar) << " = " << exprStr(f, *i.expr);
+          break;
+        case InstrKind::MpiCall:
+          os << mpiOpName(i.mpiOp) << "(";
+          for (size_t k = 0; k < i.args.size(); ++k) {
+            if (k) os << ", ";
+            os << exprStr(f, *i.args[k]);
+          }
+          os << ")";
+          if (i.reqVar >= 0) os << " req=" << varName(f, i.reqVar);
+          break;
+        case InstrKind::Call:
+          os << "call " << i.callee << "(";
+          for (size_t k = 0; k < i.callArgs.size(); ++k) {
+            if (k) os << ", ";
+            os << exprStr(f, *i.callArgs[k]);
+          }
+          os << ")";
+          break;
+        case InstrKind::Compute:
+          os << "compute " << exprStr(f, *i.expr);
+          break;
+        case InstrKind::StructEnter:
+          os << "struct_enter " << i.structId;
+          break;
+        case InstrKind::StructExit:
+          os << "struct_exit " << i.structId;
+          break;
+      }
+      os << "\n";
+    }
+    os << "    ";
+    switch (b.term.kind) {
+      case TermKind::Br:
+        os << "br " << b.term.target;
+        break;
+      case TermKind::CondBr:
+        os << "if " << exprStr(f, *b.term.cond) << " -> " << b.term.target
+           << " else " << b.term.elseTarget;
+        break;
+      case TermKind::Ret:
+        os << "ret";
+        break;
+    }
+    os << "\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string print(const Module& m) {
+  std::ostringstream os;
+  for (const auto& f : m.functions) os << print(*f);
+  return os.str();
+}
+
+}  // namespace cypress::ir

@@ -1,0 +1,264 @@
+// The cypress IR: a CFG-based intermediate representation for MPI
+// communication skeletons.
+//
+// This module plays the role of LLVM-IR in the paper: the MiniC frontend
+// lowers workloads into it, the analysis passes (dominators, natural
+// loops, call graph) run over it, the CST builder (paper §III) extracts
+// the communication structure tree from it, the instrumentation pass
+// brackets control structures with struct_enter/struct_exit (the paper's
+// PMPI_COMM_Structure pair), and the per-rank VM executes it against the
+// simulated MPI engine.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace cypress::ir {
+
+/// MPI operations the IR can invoke. Mirrors the subset of the MPI
+/// surface the paper's tracer handles, including non-blocking ops and
+/// partial-completion checks.
+enum class MpiOp : uint8_t {
+  Send, Recv,          // blocking p2p: (peer, bytes, tag)
+  Isend, Irecv,        // non-blocking p2p: (peer, bytes, tag) -> request var
+  Wait,                // (request var)
+  Waitall,             // all outstanding requests of this rank
+  Waitany,             // any one outstanding request (non-deterministic)
+  Waitsome,            // all currently-completable outstanding requests
+  Barrier,
+  Bcast,               // (root, bytes)
+  Reduce,              // (root, bytes)
+  Allreduce,           // (bytes)
+  Allgather,           // (bytes)
+  Alltoall,            // (bytes)
+  Gather,              // (root, bytes)
+  Scatter,             // (root, bytes)
+  Scan,                // (bytes)
+  CommSplit,           // (color, key) -> communicator handle
+};
+
+const char* mpiOpName(MpiOp op);
+
+/// True for ops that create a request handle.
+inline bool isNonBlockingStart(MpiOp op) {
+  return op == MpiOp::Isend || op == MpiOp::Irecv;
+}
+
+/// True for collective operations.
+inline bool isCollective(MpiOp op) {
+  switch (op) {
+    case MpiOp::Barrier:
+    case MpiOp::Bcast:
+    case MpiOp::Reduce:
+    case MpiOp::Allreduce:
+    case MpiOp::Allgather:
+    case MpiOp::Alltoall:
+    case MpiOp::Gather:
+    case MpiOp::Scatter:
+    case MpiOp::Scan:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Wildcard source marker for Recv/Irecv (the paper's MPI_ANY_SOURCE).
+constexpr int64_t kAnySource = -1;
+
+/// Build a std::vector<ExprPtr> from move-only arguments (brace lists
+/// cannot hold unique_ptr).
+template <typename... Es>
+std::vector<ExprPtr> exprList(Es... es) {
+  std::vector<ExprPtr> v;
+  v.reserve(sizeof...(es));
+  (v.push_back(std::move(es)), ...);
+  return v;
+}
+
+enum class InstrKind : uint8_t {
+  Assign,       // var = expr
+  MpiCall,      // MPI operation
+  Call,         // user-defined function call
+  Compute,      // local computation of `expr` nanoseconds (replay timing)
+  StructEnter,  // instrumentation: entering CST structure `gid`
+  StructExit,   // instrumentation: leaving CST structure `gid`
+};
+
+/// A single IR instruction. One struct with kind-dependent fields keeps
+/// the interpreter a simple switch.
+struct Instr {
+  InstrKind kind;
+
+  // Assign
+  int destVar = -1;
+  ExprPtr expr;
+
+  // MpiCall
+  MpiOp mpiOp = MpiOp::Barrier;
+  std::vector<ExprPtr> args;  // op-specific, see MpiOp comments
+  ExprPtr commExpr;           // collective communicator (null = WORLD)
+  int reqVar = -1;            // Isend/Irecv/CommSplit: dest slot; Wait: source
+  int callSiteId = -1;        // unique per MpiCall instruction in a module
+
+  // Call
+  std::string callee;
+  std::vector<ExprPtr> callArgs;
+  int callInstrId = -1;       // unique per Call instruction in a module
+
+  // StructEnter/StructExit: function-local structure id (assigned by the
+  // CST builder; the runtime resolves it against the current CTT context)
+  int structId = -1;
+
+  static Instr assign(int var, ExprPtr e) {
+    Instr i;
+    i.kind = InstrKind::Assign;
+    i.destVar = var;
+    i.expr = std::move(e);
+    return i;
+  }
+  static Instr mpi(MpiOp op, std::vector<ExprPtr> args, int reqVar = -1) {
+    Instr i;
+    i.kind = InstrKind::MpiCall;
+    i.mpiOp = op;
+    i.args = std::move(args);
+    i.reqVar = reqVar;
+    return i;
+  }
+  static Instr call(std::string callee, std::vector<ExprPtr> args = {}) {
+    Instr i;
+    i.kind = InstrKind::Call;
+    i.callee = std::move(callee);
+    i.callArgs = std::move(args);
+    return i;
+  }
+  static Instr compute(ExprPtr cost) {
+    Instr i;
+    i.kind = InstrKind::Compute;
+    i.expr = std::move(cost);
+    return i;
+  }
+  static Instr structEnter(int structId) {
+    Instr i;
+    i.kind = InstrKind::StructEnter;
+    i.structId = structId;
+    return i;
+  }
+  static Instr structExit(int structId) {
+    Instr i;
+    i.kind = InstrKind::StructExit;
+    i.structId = structId;
+    return i;
+  }
+};
+
+enum class TermKind : uint8_t { Br, CondBr, Ret };
+
+struct Terminator {
+  TermKind kind = TermKind::Ret;
+  int target = -1;       // Br; CondBr true target
+  int elseTarget = -1;   // CondBr false target
+  ExprPtr cond;          // CondBr
+
+  static Terminator br(int target) {
+    Terminator t;
+    t.kind = TermKind::Br;
+    t.target = target;
+    return t;
+  }
+  static Terminator condBr(ExprPtr cond, int t, int f) {
+    Terminator term;
+    term.kind = TermKind::CondBr;
+    term.cond = std::move(cond);
+    term.target = t;
+    term.elseTarget = f;
+    return term;
+  }
+  static Terminator ret() { return Terminator{}; }
+};
+
+struct BasicBlock {
+  int id = -1;
+  std::string name;
+  std::vector<Instr> instrs;
+  Terminator term;
+
+  std::vector<int> successors() const {
+    switch (term.kind) {
+      case TermKind::Br:
+        return {term.target};
+      case TermKind::CondBr:
+        return {term.target, term.elseTarget};
+      case TermKind::Ret:
+        return {};
+    }
+    return {};
+  }
+};
+
+struct Function {
+  std::string name;
+  int numParams = 0;  // params occupy var slots [0, numParams)
+  std::vector<std::string> varNames;
+  std::vector<BasicBlock> blocks;  // blocks[0] is the entry
+
+  int numVars() const { return static_cast<int>(varNames.size()); }
+
+  /// Append a new block; returns its id.
+  int addBlock(std::string name) {
+    const int id = static_cast<int>(blocks.size());
+    blocks.push_back(BasicBlock{});
+    blocks.back().id = id;
+    blocks.back().name = std::move(name);
+    return id;
+  }
+
+  /// Declare a new local variable; returns its slot.
+  int addVar(std::string name) {
+    varNames.push_back(std::move(name));
+    return static_cast<int>(varNames.size()) - 1;
+  }
+};
+
+struct Module {
+  std::vector<std::unique_ptr<Function>> functions;
+  std::string entry = "main";
+
+  Function* function(const std::string& name) {
+    for (auto& f : functions)
+      if (f->name == name) return f.get();
+    return nullptr;
+  }
+  const Function* function(const std::string& name) const {
+    for (auto& f : functions)
+      if (f->name == name) return f.get();
+    return nullptr;
+  }
+
+  Function* addFunction(std::string name, int numParams = 0) {
+    auto f = std::make_unique<Function>();
+    f->name = std::move(name);
+    f->numParams = numParams;
+    functions.push_back(std::move(f));
+    return functions.back().get();
+  }
+
+  /// Assign unique callSiteIds to every MpiCall and callInstrIds to every
+  /// Call in the module (stable pre-order over functions and blocks).
+  /// Called by frontends after construction.
+  void numberCallSites();
+};
+
+/// Structural validity checks: entry exists, every block terminated with
+/// in-range targets, var slots in range, callees resolvable. Throws
+/// cypress::Error with a precise message on the first violation.
+void verify(const Module& m);
+
+/// Human-readable dump of a function / module (golden tests, debugging).
+std::string print(const Function& f);
+std::string print(const Module& m);
+
+}  // namespace cypress::ir

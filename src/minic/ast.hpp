@@ -1,0 +1,77 @@
+// MiniC abstract syntax tree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace cypress::minic {
+
+struct AstExpr;
+using AstExprPtr = std::unique_ptr<AstExpr>;
+
+enum class AstExprKind {
+  Number,
+  Var,
+  Rank,
+  Size,
+  AnySource,
+  Unary,
+  Binary,
+  Intrinsic,  // value-producing builtin: min, max, mpi_isend, mpi_irecv
+};
+
+struct AstExpr {
+  AstExprKind kind;
+  int line = 0, col = 0;
+
+  int64_t number = 0;             // Number
+  std::string name;               // Var / Intrinsic
+  ir::UnOp uop = ir::UnOp::Neg;   // Unary
+  ir::BinOp bop = ir::BinOp::Add; // Binary
+  AstExprPtr lhs, rhs;            // Unary uses lhs
+  std::vector<AstExprPtr> args;   // Intrinsic
+};
+
+struct AstStmt;
+using AstStmtPtr = std::unique_ptr<AstStmt>;
+
+enum class AstStmtKind {
+  VarDecl,  // var name = init;
+  Assign,   // name = expr;
+  If,       // if (cond) then else?
+  While,    // while (cond) body
+  For,      // for (init; cond; step) body
+  Call,     // name(args);  — user function or statement intrinsic
+  Return,   // return;
+  Block,    // { ... } — scoping only
+};
+
+struct AstStmt {
+  AstStmtKind kind;
+  int line = 0, col = 0;
+
+  std::string name;                 // VarDecl/Assign/Call
+  AstExprPtr expr;                  // VarDecl init, Assign RHS, If/While cond
+  std::vector<AstExprPtr> args;     // Call
+  std::vector<AstStmtPtr> body;     // If-then, While/For body, Block
+  std::vector<AstStmtPtr> elseBody; // If-else
+  AstStmtPtr forInit, forStep;      // For (VarDecl/Assign)
+  AstExprPtr forCond;               // For
+};
+
+struct AstFunc {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<AstStmtPtr> body;
+  int line = 0;
+};
+
+struct AstProgram {
+  std::vector<AstFunc> functions;
+};
+
+}  // namespace cypress::minic

@@ -1,0 +1,406 @@
+#include "minic/compile.hpp"
+
+#include <map>
+#include <set>
+
+#include "minic/parser.hpp"
+#include "support/error.hpp"
+
+namespace cypress::minic {
+
+namespace {
+
+using ir::Expr;
+using ir::ExprPtr;
+
+struct StmtIntrinsic {
+  ir::MpiOp op;
+  int arity;
+};
+
+const std::map<std::string, StmtIntrinsic>& stmtIntrinsics() {
+  static const std::map<std::string, StmtIntrinsic> table = {
+      {"mpi_send", {ir::MpiOp::Send, 3}},
+      {"mpi_recv", {ir::MpiOp::Recv, 3}},
+      {"mpi_bcast", {ir::MpiOp::Bcast, 2}},
+      {"mpi_reduce", {ir::MpiOp::Reduce, 2}},
+      {"mpi_allreduce", {ir::MpiOp::Allreduce, 1}},
+      {"mpi_allgather", {ir::MpiOp::Allgather, 1}},
+      {"mpi_alltoall", {ir::MpiOp::Alltoall, 1}},
+      {"mpi_gather", {ir::MpiOp::Gather, 2}},
+      {"mpi_scatter", {ir::MpiOp::Scatter, 2}},
+      {"mpi_scan", {ir::MpiOp::Scan, 1}},
+      {"mpi_barrier", {ir::MpiOp::Barrier, 0}},
+      {"mpi_waitall", {ir::MpiOp::Waitall, 0}},
+      {"mpi_waitany", {ir::MpiOp::Waitany, 0}},
+      {"mpi_waitsome", {ir::MpiOp::Waitsome, 0}},
+  };
+  return table;
+}
+
+/// Collectives over an explicit communicator handle: first argument is
+/// the communicator, the rest are the usual arguments.
+const std::map<std::string, StmtIntrinsic>& commIntrinsics() {
+  static const std::map<std::string, StmtIntrinsic> table = {
+      {"mpi_bcast_c", {ir::MpiOp::Bcast, 3}},
+      {"mpi_reduce_c", {ir::MpiOp::Reduce, 3}},
+      {"mpi_allreduce_c", {ir::MpiOp::Allreduce, 2}},
+      {"mpi_allgather_c", {ir::MpiOp::Allgather, 2}},
+      {"mpi_alltoall_c", {ir::MpiOp::Alltoall, 2}},
+      {"mpi_gather_c", {ir::MpiOp::Gather, 3}},
+      {"mpi_scatter_c", {ir::MpiOp::Scatter, 3}},
+      {"mpi_scan_c", {ir::MpiOp::Scan, 2}},
+      {"mpi_barrier_c", {ir::MpiOp::Barrier, 1}},
+  };
+  return table;
+}
+
+[[noreturn]] void semaError(int line, int col, const std::string& msg) {
+  throw Error("minic:" + std::to_string(line) + ":" + std::to_string(col) +
+              ": " + msg);
+}
+
+class FunctionLowerer {
+ public:
+  FunctionLowerer(const AstProgram& program, const AstFunc& src, ir::Function& out)
+      : program_(program), src_(src), out_(out) {}
+
+  void run() {
+    scopes_.emplace_back();
+    for (const std::string& p : src_.params) {
+      declare(p, src_.line, 0);
+    }
+    out_.numParams = static_cast<int>(src_.params.size());
+    cur_ = out_.addBlock("entry");
+    lowerStmts(src_.body);
+    terminate(ir::Terminator::ret());
+  }
+
+ private:
+  const AstProgram& program_;
+  const AstFunc& src_;
+  ir::Function& out_;
+  std::vector<std::map<std::string, int>> scopes_;
+  int cur_ = 0;
+  bool terminated_ = false;
+
+  int declare(const std::string& name, int line, int col) {
+    if (scopes_.back().count(name))
+      semaError(line, col, "redefinition of '" + name + "'");
+    if (isIntrinsicName(name))
+      semaError(line, col, "'" + name + "' is a reserved builtin name");
+    const int slot = out_.addVar(name);
+    scopes_.back()[name] = slot;
+    return slot;
+  }
+
+  int lookup(const std::string& name, int line, int col) const {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto f = it->find(name);
+      if (f != it->end()) return f->second;
+    }
+    semaError(line, col, "use of undeclared variable '" + name + "'");
+  }
+
+  void emit(ir::Instr instr) {
+    if (terminated_) return;  // unreachable code after return: dropped
+    out_.blocks[static_cast<size_t>(cur_)].instrs.push_back(std::move(instr));
+  }
+
+  void terminate(ir::Terminator t) {
+    if (terminated_) return;
+    out_.blocks[static_cast<size_t>(cur_)].term = std::move(t);
+    terminated_ = true;
+  }
+
+  /// Open a fresh block and make it current.
+  int startBlock(const std::string& name) {
+    cur_ = out_.addBlock(name);
+    terminated_ = false;
+    return cur_;
+  }
+
+  ExprPtr lowerExpr(const AstExpr& e) {
+    switch (e.kind) {
+      case AstExprKind::Number:
+        return Expr::constant(e.number);
+      case AstExprKind::Var:
+        return Expr::var(lookup(e.name, e.line, e.col));
+      case AstExprKind::Rank:
+        return Expr::rank();
+      case AstExprKind::Size:
+        return Expr::size();
+      case AstExprKind::AnySource:
+        return Expr::constant(ir::kAnySource);
+      case AstExprKind::Unary:
+        return Expr::unary(e.uop, lowerExpr(*e.lhs));
+      case AstExprKind::Binary:
+        return Expr::binary(e.bop, lowerExpr(*e.lhs), lowerExpr(*e.rhs));
+      case AstExprKind::Intrinsic: {
+        if (e.name == "min" || e.name == "max") {
+          if (e.args.size() != 2)
+            semaError(e.line, e.col, e.name + "() takes 2 arguments");
+          return Expr::binary(e.name == "min" ? ir::BinOp::Min : ir::BinOp::Max,
+                              lowerExpr(*e.args[0]), lowerExpr(*e.args[1]));
+        }
+        if (e.name == "mpi_isend" || e.name == "mpi_irecv" ||
+            e.name == "mpi_comm_split") {
+          semaError(e.line, e.col,
+                    e.name + "() may only appear as the direct right-hand side "
+                             "of an assignment (it yields a handle)");
+        }
+        semaError(e.line, e.col, "unknown builtin '" + e.name + "' in expression");
+      }
+    }
+    CYP_FAIL("bad ast expr kind");
+  }
+
+  /// Handle `dest = mpi_isend(...)` / `var dest = mpi_irecv(...)` /
+  /// `var c = mpi_comm_split(color, key)`.
+  /// Returns true when `init` was such an intrinsic (already emitted).
+  bool lowerRequestInit(const AstExpr* init, int destSlot) {
+    if (!init || init->kind != AstExprKind::Intrinsic) return false;
+    if (init->name == "mpi_comm_split") {
+      if (init->args.size() != 2)
+        semaError(init->line, init->col, "mpi_comm_split() takes 2 arguments");
+      std::vector<ExprPtr> args;
+      for (const auto& a : init->args) args.push_back(lowerExpr(*a));
+      emit(ir::Instr::mpi(ir::MpiOp::CommSplit, std::move(args), destSlot));
+      return true;
+    }
+    if (init->name != "mpi_isend" && init->name != "mpi_irecv") return false;
+    if (init->args.size() != 3)
+      semaError(init->line, init->col, init->name + "() takes 3 arguments");
+    std::vector<ExprPtr> args;
+    for (const auto& a : init->args) args.push_back(lowerExpr(*a));
+    const ir::MpiOp op =
+        init->name == "mpi_isend" ? ir::MpiOp::Isend : ir::MpiOp::Irecv;
+    emit(ir::Instr::mpi(op, std::move(args), destSlot));
+    return true;
+  }
+
+  void lowerCall(const AstStmt& s) {
+    // Communicator-scoped collectives.
+    auto cit = commIntrinsics().find(s.name);
+    if (cit != commIntrinsics().end()) {
+      if (static_cast<int>(s.args.size()) != cit->second.arity)
+        semaError(s.line, s.col,
+                  s.name + "() takes " + std::to_string(cit->second.arity) +
+                      " argument(s), got " + std::to_string(s.args.size()));
+      ir::Instr instr;
+      instr.kind = ir::InstrKind::MpiCall;
+      instr.mpiOp = cit->second.op;
+      instr.commExpr = lowerExpr(*s.args[0]);
+      for (size_t i = 1; i < s.args.size(); ++i)
+        instr.args.push_back(lowerExpr(*s.args[i]));
+      emit(std::move(instr));
+      return;
+    }
+    // Sugar: mpi_sendrecv(dest, sbytes, stag, src, rbytes, rtag) lowers
+    // to an eager send followed by a blocking receive (two call sites).
+    if (s.name == "mpi_sendrecv") {
+      if (s.args.size() != 6)
+        semaError(s.line, s.col, "mpi_sendrecv() takes 6 arguments");
+      emit(ir::Instr::mpi(ir::MpiOp::Send,
+                          ir::exprList(lowerExpr(*s.args[0]), lowerExpr(*s.args[1]),
+                                       lowerExpr(*s.args[2]))));
+      emit(ir::Instr::mpi(ir::MpiOp::Recv,
+                          ir::exprList(lowerExpr(*s.args[3]), lowerExpr(*s.args[4]),
+                                       lowerExpr(*s.args[5]))));
+      return;
+    }
+    // Statement intrinsics.
+    auto it = stmtIntrinsics().find(s.name);
+    if (it != stmtIntrinsics().end()) {
+      if (static_cast<int>(s.args.size()) != it->second.arity)
+        semaError(s.line, s.col,
+                  s.name + "() takes " + std::to_string(it->second.arity) +
+                      " argument(s), got " + std::to_string(s.args.size()));
+      std::vector<ExprPtr> args;
+      for (const auto& a : s.args) args.push_back(lowerExpr(*a));
+      emit(ir::Instr::mpi(it->second.op, std::move(args)));
+      return;
+    }
+    if (s.name == "mpi_wait") {
+      if (s.args.size() != 1 || s.args[0]->kind != AstExprKind::Var)
+        semaError(s.line, s.col, "mpi_wait() takes one request variable");
+      const int slot = lookup(s.args[0]->name, s.line, s.col);
+      emit(ir::Instr::mpi(ir::MpiOp::Wait, {}, slot));
+      return;
+    }
+    if (s.name == "compute") {
+      if (s.args.size() != 1)
+        semaError(s.line, s.col, "compute() takes one argument (nanoseconds)");
+      emit(ir::Instr::compute(lowerExpr(*s.args[0])));
+      return;
+    }
+    if (s.name == "mpi_isend" || s.name == "mpi_irecv") {
+      semaError(s.line, s.col,
+                s.name + "() yields a request handle; assign it to a variable");
+    }
+    // User-defined function.
+    const AstFunc* callee = nullptr;
+    for (const auto& f : program_.functions)
+      if (f.name == s.name) callee = &f;
+    if (!callee)
+      semaError(s.line, s.col, "call to unknown function '" + s.name + "'");
+    if (callee->params.size() != s.args.size())
+      semaError(s.line, s.col,
+                "'" + s.name + "' takes " + std::to_string(callee->params.size()) +
+                    " argument(s), got " + std::to_string(s.args.size()));
+    std::vector<ExprPtr> args;
+    for (const auto& a : s.args) args.push_back(lowerExpr(*a));
+    emit(ir::Instr::call(s.name, std::move(args)));
+  }
+
+  void lowerStmts(const std::vector<AstStmtPtr>& stmts) {
+    for (const auto& s : stmts) lowerStmt(*s);
+  }
+
+  void lowerStmt(const AstStmt& s) {
+    // Code after `return` in the same statement list is unreachable;
+    // park it in a fresh block so control-flow lowering cannot clobber
+    // the Ret terminator.
+    if (terminated_) startBlock("dead");
+    switch (s.kind) {
+      case AstStmtKind::VarDecl: {
+        const int slot = declare(s.name, s.line, s.col);
+        if (lowerRequestInit(s.expr.get(), slot)) return;
+        emit(ir::Instr::assign(
+            slot, s.expr ? lowerExpr(*s.expr) : Expr::constant(0)));
+        return;
+      }
+      case AstStmtKind::Assign: {
+        const int slot = lookup(s.name, s.line, s.col);
+        if (lowerRequestInit(s.expr.get(), slot)) return;
+        emit(ir::Instr::assign(slot, lowerExpr(*s.expr)));
+        return;
+      }
+      case AstStmtKind::Call:
+        lowerCall(s);
+        return;
+      case AstStmtKind::Return:
+        terminate(ir::Terminator::ret());
+        return;
+      case AstStmtKind::Block: {
+        scopes_.emplace_back();
+        lowerStmts(s.body);
+        scopes_.pop_back();
+        return;
+      }
+      case AstStmtKind::If: {
+        ExprPtr cond = lowerExpr(*s.expr);
+        const int condBlock = cur_;
+        const bool hasElse = !s.elseBody.empty();
+
+        const int thenB = startBlock("if.then");
+        scopes_.emplace_back();
+        lowerStmts(s.body);
+        scopes_.pop_back();
+        const int thenEnd = cur_;
+        const bool thenTerminated = terminated_;
+
+        int elseB = -1, elseEnd = -1;
+        bool elseTerminated = false;
+        if (hasElse) {
+          elseB = startBlock("if.else");
+          scopes_.emplace_back();
+          lowerStmts(s.elseBody);
+          scopes_.pop_back();
+          elseEnd = cur_;
+          elseTerminated = terminated_;
+        }
+
+        const int join = startBlock("if.join");
+        out_.blocks[static_cast<size_t>(condBlock)].term =
+            ir::Terminator::condBr(std::move(cond), thenB, hasElse ? elseB : join);
+        if (!thenTerminated)
+          out_.blocks[static_cast<size_t>(thenEnd)].term = ir::Terminator::br(join);
+        if (hasElse && !elseTerminated)
+          out_.blocks[static_cast<size_t>(elseEnd)].term = ir::Terminator::br(join);
+        return;
+      }
+      case AstStmtKind::While: {
+        const int pre = cur_;
+        const int header = startBlock("while.cond");
+        out_.blocks[static_cast<size_t>(pre)].term = ir::Terminator::br(header);
+        ExprPtr cond = lowerExpr(*s.expr);
+
+        const int body = startBlock("while.body");
+        scopes_.emplace_back();
+        lowerStmts(s.body);
+        scopes_.pop_back();
+        if (!terminated_) terminate(ir::Terminator::br(header));
+
+        const int exit = startBlock("while.exit");
+        out_.blocks[static_cast<size_t>(header)].term =
+            ir::Terminator::condBr(std::move(cond), body, exit);
+        return;
+      }
+      case AstStmtKind::For: {
+        scopes_.emplace_back();  // for-init variable scope
+        if (s.forInit) lowerStmt(*s.forInit);
+        const int pre = cur_;
+        const int header = startBlock("for.cond");
+        out_.blocks[static_cast<size_t>(pre)].term = ir::Terminator::br(header);
+        ExprPtr cond =
+            s.forCond ? lowerExpr(*s.forCond) : Expr::constant(1);
+
+        const int body = startBlock("for.body");
+        scopes_.emplace_back();
+        lowerStmts(s.body);
+        scopes_.pop_back();
+        if (!terminated_) {
+          if (s.forStep) lowerStmt(*s.forStep);
+          terminate(ir::Terminator::br(header));
+        }
+        scopes_.pop_back();
+
+        const int exit = startBlock("for.exit");
+        out_.blocks[static_cast<size_t>(header)].term =
+            ir::Terminator::condBr(std::move(cond), body, exit);
+        return;
+      }
+    }
+    CYP_FAIL("bad ast stmt kind");
+  }
+};
+
+}  // namespace
+
+bool isIntrinsicName(const std::string& name) {
+  if (stmtIntrinsics().count(name)) return true;
+  if (commIntrinsics().count(name)) return true;
+  static const std::set<std::string> others = {
+      "mpi_wait", "mpi_isend", "mpi_irecv", "mpi_comm_split", "mpi_sendrecv",
+      "compute", "min", "max"};
+  return others.count(name) > 0;
+}
+
+std::unique_ptr<ir::Module> lower(const AstProgram& program) {
+  auto m = std::make_unique<ir::Module>();
+  std::set<std::string> seen;
+  for (const AstFunc& f : program.functions) {
+    if (seen.count(f.name))
+      semaError(f.line, 0, "duplicate function '" + f.name + "'");
+    if (isIntrinsicName(f.name))
+      semaError(f.line, 0, "'" + f.name + "' is a reserved builtin name");
+    seen.insert(f.name);
+  }
+  for (const AstFunc& f : program.functions) {
+    ir::Function* out = m->addFunction(f.name);
+    FunctionLowerer(program, f, *out).run();
+  }
+  return m;
+}
+
+std::unique_ptr<ir::Module> compileProgram(const std::string& source) {
+  AstProgram ast = parse(source);
+  auto m = lower(ast);
+  CYP_CHECK(m->function("main") != nullptr, "minic: program has no 'main' function");
+  m->numberCallSites();
+  ir::verify(*m);
+  return m;
+}
+
+}  // namespace cypress::minic

@@ -1,0 +1,23 @@
+// MiniC → IR lowering and semantic checks.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "ir/ir.hpp"
+#include "minic/ast.hpp"
+
+namespace cypress::minic {
+
+/// Lower a parsed program to IR. Performs semantic checks (undefined /
+/// redefined variables, unknown callees, intrinsic arity, non-blocking
+/// request usage) and throws cypress::Error with source positions.
+std::unique_ptr<ir::Module> lower(const AstProgram& program);
+
+/// Convenience: parse + lower + verify + number call sites.
+std::unique_ptr<ir::Module> compileProgram(const std::string& source);
+
+/// True when `name` is reserved for an MPI/builtin intrinsic.
+bool isIntrinsicName(const std::string& name);
+
+}  // namespace cypress::minic

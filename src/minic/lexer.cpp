@@ -1,0 +1,201 @@
+#include "minic/lexer.hpp"
+
+#include <cctype>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace cypress::minic {
+
+namespace {
+
+const std::map<std::string, Tok>& keywords() {
+  static const std::map<std::string, Tok> kw = {
+      {"func", Tok::KwFunc},   {"var", Tok::KwVar},
+      {"if", Tok::KwIf},       {"else", Tok::KwElse},
+      {"while", Tok::KwWhile}, {"for", Tok::KwFor},
+      {"return", Tok::KwReturn},
+      {"rank", Tok::KwRank},   {"size", Tok::KwSize},
+      {"ANY_SOURCE", Tok::KwAnySource},
+  };
+  return kw;
+}
+
+[[noreturn]] void lexError(int line, int col, const std::string& msg) {
+  throw Error("minic:" + std::to_string(line) + ":" + std::to_string(col) +
+              ": " + msg);
+}
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  std::vector<Token> out;
+  size_t i = 0;
+  int line = 1, col = 1;
+
+  auto advance = [&](size_t n = 1) {
+    for (size_t k = 0; k < n; ++k) {
+      if (i < source.size() && source[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+      ++i;
+    }
+  };
+  auto peek = [&](size_t off = 0) -> char {
+    return i + off < source.size() ? source[i + off] : '\0';
+  };
+  auto push = [&](Tok kind, int l, int c) {
+    Token t;
+    t.kind = kind;
+    t.line = l;
+    t.col = c;
+    out.push_back(std::move(t));
+  };
+
+  while (i < source.size()) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance();
+      continue;
+    }
+    // Comments: // to end of line, /* ... */.
+    if (c == '/' && peek(1) == '/') {
+      while (i < source.size() && source[i] != '\n') advance();
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int l = line, cl = col;
+      advance(2);
+      while (i < source.size() && !(peek() == '*' && peek(1) == '/')) advance();
+      if (i >= source.size()) lexError(l, cl, "unterminated block comment");
+      advance(2);
+      continue;
+    }
+
+    const int l = line, cl = col;
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      int64_t v = 0;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) {
+        v = v * 10 + (peek() - '0');
+        advance();
+      }
+      Token t;
+      t.kind = Tok::Number;
+      t.number = v;
+      t.line = l;
+      t.col = cl;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string word;
+      while (std::isalnum(static_cast<unsigned char>(peek())) || peek() == '_') {
+        word.push_back(peek());
+        advance();
+      }
+      auto it = keywords().find(word);
+      Token t;
+      t.kind = it != keywords().end() ? it->second : Tok::Ident;
+      t.text = std::move(word);
+      t.line = l;
+      t.col = cl;
+      out.push_back(std::move(t));
+      continue;
+    }
+
+    switch (c) {
+      case '(': push(Tok::LParen, l, cl); advance(); break;
+      case ')': push(Tok::RParen, l, cl); advance(); break;
+      case '{': push(Tok::LBrace, l, cl); advance(); break;
+      case '}': push(Tok::RBrace, l, cl); advance(); break;
+      case ',': push(Tok::Comma, l, cl); advance(); break;
+      case ';': push(Tok::Semi, l, cl); advance(); break;
+      case '+': push(Tok::Plus, l, cl); advance(); break;
+      case '-': push(Tok::Minus, l, cl); advance(); break;
+      case '*': push(Tok::Star, l, cl); advance(); break;
+      case '/': push(Tok::Slash, l, cl); advance(); break;
+      case '%': push(Tok::Percent, l, cl); advance(); break;
+      case '=':
+        if (peek(1) == '=') { push(Tok::EqEq, l, cl); advance(2); }
+        else { push(Tok::Assign, l, cl); advance(); }
+        break;
+      case '<':
+        if (peek(1) == '=') { push(Tok::Le, l, cl); advance(2); }
+        else if (peek(1) == '<') { push(Tok::Shl, l, cl); advance(2); }
+        else { push(Tok::Lt, l, cl); advance(); }
+        break;
+      case '>':
+        if (peek(1) == '=') { push(Tok::Ge, l, cl); advance(2); }
+        else if (peek(1) == '>') { push(Tok::Shr, l, cl); advance(2); }
+        else { push(Tok::Gt, l, cl); advance(); }
+        break;
+      case '!':
+        if (peek(1) == '=') { push(Tok::Ne, l, cl); advance(2); }
+        else { push(Tok::Not, l, cl); advance(); }
+        break;
+      case '&':
+        if (peek(1) == '&') { push(Tok::AndAnd, l, cl); advance(2); }
+        else lexError(l, cl, "stray '&' (did you mean '&&'?)");
+        break;
+      case '|':
+        if (peek(1) == '|') { push(Tok::OrOr, l, cl); advance(2); }
+        else lexError(l, cl, "stray '|' (did you mean '||'?)");
+        break;
+      default:
+        lexError(l, cl, std::string("unexpected character '") + c + "'");
+    }
+  }
+  Token end;
+  end.kind = Tok::End;
+  end.line = line;
+  end.col = col;
+  out.push_back(std::move(end));
+  return out;
+}
+
+const char* tokName(Tok t) {
+  switch (t) {
+    case Tok::End: return "end of input";
+    case Tok::Ident: return "identifier";
+    case Tok::Number: return "number";
+    case Tok::KwFunc: return "'func'";
+    case Tok::KwVar: return "'var'";
+    case Tok::KwIf: return "'if'";
+    case Tok::KwElse: return "'else'";
+    case Tok::KwWhile: return "'while'";
+    case Tok::KwFor: return "'for'";
+    case Tok::KwReturn: return "'return'";
+    case Tok::KwRank: return "'rank'";
+    case Tok::KwSize: return "'size'";
+    case Tok::KwAnySource: return "'ANY_SOURCE'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::Comma: return "','";
+    case Tok::Semi: return "';'";
+    case Tok::Assign: return "'='";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::EqEq: return "'=='";
+    case Tok::Ne: return "'!='";
+    case Tok::AndAnd: return "'&&'";
+    case Tok::OrOr: return "'||'";
+    case Tok::Not: return "'!'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+  }
+  return "?";
+}
+
+}  // namespace cypress::minic

@@ -1,0 +1,45 @@
+// MiniC lexer.
+//
+// MiniC is the small imperative language the repository's workloads are
+// written in (the stand-in for the C/Fortran sources of the paper's
+// benchmarks). It has integer variables, arithmetic, if/else, while/for,
+// void functions with integer parameters, and MPI intrinsics.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cypress::minic {
+
+enum class Tok {
+  End,
+  Ident,
+  Number,
+  // keywords
+  KwFunc, KwVar, KwIf, KwElse, KwWhile, KwFor, KwReturn,
+  KwRank, KwSize, KwAnySource,
+  // punctuation
+  LParen, RParen, LBrace, RBrace, Comma, Semi,
+  // operators
+  Assign,        // =
+  Plus, Minus, Star, Slash, Percent,
+  Lt, Le, Gt, Ge, EqEq, Ne,
+  AndAnd, OrOr, Not,
+  Shl, Shr,
+};
+
+struct Token {
+  Tok kind = Tok::End;
+  std::string text;     // identifier spelling
+  int64_t number = 0;   // numeric literals
+  int line = 0;
+  int col = 0;
+};
+
+/// Thrown (as cypress::Error) with "line:col: message" on bad input.
+std::vector<Token> lex(const std::string& source);
+
+const char* tokName(Tok t);
+
+}  // namespace cypress::minic

@@ -1,0 +1,363 @@
+#include "minic/parser.hpp"
+
+#include "minic/lexer.hpp"
+#include "support/error.hpp"
+
+namespace cypress::minic {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : toks_(std::move(tokens)) {}
+
+  AstProgram program() {
+    AstProgram p;
+    while (!at(Tok::End)) {
+      p.functions.push_back(function());
+    }
+    return p;
+  }
+
+ private:
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok t) const { return cur().kind == t; }
+
+  Token eat(Tok t, const char* what = nullptr) {
+    if (!at(t)) {
+      fail(std::string("expected ") + (what ? what : tokName(t)) + ", found " +
+           tokName(cur().kind));
+    }
+    return toks_[pos_++];
+  }
+
+  bool accept(Tok t) {
+    if (at(t)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw Error("minic:" + std::to_string(cur().line) + ":" +
+                std::to_string(cur().col) + ": " + msg);
+  }
+
+  AstFunc function() {
+    AstFunc f;
+    f.line = cur().line;
+    eat(Tok::KwFunc);
+    f.name = eat(Tok::Ident, "function name").text;
+    eat(Tok::LParen);
+    if (!at(Tok::RParen)) {
+      f.params.push_back(eat(Tok::Ident, "parameter name").text);
+      while (accept(Tok::Comma))
+        f.params.push_back(eat(Tok::Ident, "parameter name").text);
+    }
+    eat(Tok::RParen);
+    f.body = block();
+    return f;
+  }
+
+  std::vector<AstStmtPtr> block() {
+    eat(Tok::LBrace);
+    std::vector<AstStmtPtr> stmts;
+    while (!at(Tok::RBrace)) {
+      if (at(Tok::End)) fail("unexpected end of input inside block");
+      stmts.push_back(statement());
+    }
+    eat(Tok::RBrace);
+    return stmts;
+  }
+
+  AstStmtPtr makeStmt(AstStmtKind kind) {
+    auto s = std::make_unique<AstStmt>();
+    s->kind = kind;
+    s->line = cur().line;
+    s->col = cur().col;
+    return s;
+  }
+
+  AstStmtPtr statement() {
+    if (at(Tok::KwVar)) {
+      auto s = varDecl();
+      eat(Tok::Semi);
+      return s;
+    }
+    if (at(Tok::KwIf)) return ifStmt();
+    if (at(Tok::KwWhile)) return whileStmt();
+    if (at(Tok::KwFor)) return forStmt();
+    if (at(Tok::KwReturn)) {
+      auto s = makeStmt(AstStmtKind::Return);
+      eat(Tok::KwReturn);
+      eat(Tok::Semi);
+      return s;
+    }
+    if (at(Tok::LBrace)) {
+      auto s = makeStmt(AstStmtKind::Block);
+      s->body = block();
+      return s;
+    }
+    if (at(Tok::Ident)) {
+      auto s = assignOrCall();
+      eat(Tok::Semi);
+      return s;
+    }
+    fail("expected a statement");
+  }
+
+  AstStmtPtr varDecl() {
+    auto s = makeStmt(AstStmtKind::VarDecl);
+    eat(Tok::KwVar);
+    s->name = eat(Tok::Ident, "variable name").text;
+    if (accept(Tok::Assign)) {
+      s->expr = expression();
+    }
+    return s;
+  }
+
+  AstStmtPtr assignOrCall() {
+    auto s = makeStmt(AstStmtKind::Assign);
+    Token name = eat(Tok::Ident);
+    s->name = name.text;
+    if (at(Tok::LParen)) {
+      s->kind = AstStmtKind::Call;
+      eat(Tok::LParen);
+      if (!at(Tok::RParen)) {
+        s->args.push_back(expression());
+        while (accept(Tok::Comma)) s->args.push_back(expression());
+      }
+      eat(Tok::RParen);
+      return s;
+    }
+    eat(Tok::Assign);
+    s->expr = expression();
+    return s;
+  }
+
+  AstStmtPtr ifStmt() {
+    auto s = makeStmt(AstStmtKind::If);
+    eat(Tok::KwIf);
+    eat(Tok::LParen);
+    s->expr = expression();
+    eat(Tok::RParen);
+    s->body = block();
+    if (accept(Tok::KwElse)) {
+      if (at(Tok::KwIf)) {
+        s->elseBody.push_back(ifStmt());
+      } else {
+        s->elseBody = block();
+      }
+    }
+    return s;
+  }
+
+  AstStmtPtr whileStmt() {
+    auto s = makeStmt(AstStmtKind::While);
+    eat(Tok::KwWhile);
+    eat(Tok::LParen);
+    s->expr = expression();
+    eat(Tok::RParen);
+    s->body = block();
+    return s;
+  }
+
+  AstStmtPtr forStmt() {
+    auto s = makeStmt(AstStmtKind::For);
+    eat(Tok::KwFor);
+    eat(Tok::LParen);
+    if (!at(Tok::Semi)) {
+      s->forInit = at(Tok::KwVar) ? varDecl() : assignOrCall();
+      if (s->forInit->kind == AstStmtKind::Call)
+        fail("for-initializer must be an assignment or declaration");
+    }
+    eat(Tok::Semi);
+    if (!at(Tok::Semi)) s->forCond = expression();
+    eat(Tok::Semi);
+    if (!at(Tok::RParen)) {
+      s->forStep = assignOrCall();
+      if (s->forStep->kind == AstStmtKind::Call)
+        fail("for-step must be an assignment");
+    }
+    eat(Tok::RParen);
+    s->body = block();
+    return s;
+  }
+
+  AstExprPtr makeExpr(AstExprKind kind) {
+    auto e = std::make_unique<AstExpr>();
+    e->kind = kind;
+    e->line = cur().line;
+    e->col = cur().col;
+    return e;
+  }
+
+  AstExprPtr expression() { return orExpr(); }
+
+  AstExprPtr orExpr() {
+    auto lhs = andExpr();
+    while (at(Tok::OrOr)) {
+      auto e = makeExpr(AstExprKind::Binary);
+      eat(Tok::OrOr);
+      e->bop = ir::BinOp::Or;
+      e->lhs = std::move(lhs);
+      e->rhs = andExpr();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  AstExprPtr andExpr() {
+    auto lhs = equality();
+    while (at(Tok::AndAnd)) {
+      auto e = makeExpr(AstExprKind::Binary);
+      eat(Tok::AndAnd);
+      e->bop = ir::BinOp::And;
+      e->lhs = std::move(lhs);
+      e->rhs = equality();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  AstExprPtr equality() {
+    auto lhs = relational();
+    while (at(Tok::EqEq) || at(Tok::Ne)) {
+      auto e = makeExpr(AstExprKind::Binary);
+      e->bop = accept(Tok::EqEq) ? ir::BinOp::Eq : (eat(Tok::Ne), ir::BinOp::Ne);
+      e->lhs = std::move(lhs);
+      e->rhs = relational();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  AstExprPtr relational() {
+    auto lhs = shift();
+    while (at(Tok::Lt) || at(Tok::Le) || at(Tok::Gt) || at(Tok::Ge)) {
+      auto e = makeExpr(AstExprKind::Binary);
+      if (accept(Tok::Lt)) e->bop = ir::BinOp::Lt;
+      else if (accept(Tok::Le)) e->bop = ir::BinOp::Le;
+      else if (accept(Tok::Gt)) e->bop = ir::BinOp::Gt;
+      else { eat(Tok::Ge); e->bop = ir::BinOp::Ge; }
+      e->lhs = std::move(lhs);
+      e->rhs = shift();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  AstExprPtr shift() {
+    auto lhs = additive();
+    while (at(Tok::Shl) || at(Tok::Shr)) {
+      auto e = makeExpr(AstExprKind::Binary);
+      e->bop = accept(Tok::Shl) ? ir::BinOp::Shl : (eat(Tok::Shr), ir::BinOp::Shr);
+      e->lhs = std::move(lhs);
+      e->rhs = additive();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  AstExprPtr additive() {
+    auto lhs = multiplicative();
+    while (at(Tok::Plus) || at(Tok::Minus)) {
+      auto e = makeExpr(AstExprKind::Binary);
+      e->bop = accept(Tok::Plus) ? ir::BinOp::Add : (eat(Tok::Minus), ir::BinOp::Sub);
+      e->lhs = std::move(lhs);
+      e->rhs = multiplicative();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  AstExprPtr multiplicative() {
+    auto lhs = unary();
+    while (at(Tok::Star) || at(Tok::Slash) || at(Tok::Percent)) {
+      auto e = makeExpr(AstExprKind::Binary);
+      if (accept(Tok::Star)) e->bop = ir::BinOp::Mul;
+      else if (accept(Tok::Slash)) e->bop = ir::BinOp::Div;
+      else { eat(Tok::Percent); e->bop = ir::BinOp::Mod; }
+      e->lhs = std::move(lhs);
+      e->rhs = unary();
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  AstExprPtr unary() {
+    if (at(Tok::Minus)) {
+      auto e = makeExpr(AstExprKind::Unary);
+      eat(Tok::Minus);
+      e->uop = ir::UnOp::Neg;
+      e->lhs = unary();
+      return e;
+    }
+    if (at(Tok::Not)) {
+      auto e = makeExpr(AstExprKind::Unary);
+      eat(Tok::Not);
+      e->uop = ir::UnOp::Not;
+      e->lhs = unary();
+      return e;
+    }
+    return primary();
+  }
+
+  AstExprPtr primary() {
+    if (at(Tok::Number)) {
+      auto e = makeExpr(AstExprKind::Number);
+      e->number = eat(Tok::Number).number;
+      return e;
+    }
+    if (at(Tok::KwRank)) {
+      auto e = makeExpr(AstExprKind::Rank);
+      eat(Tok::KwRank);
+      return e;
+    }
+    if (at(Tok::KwSize)) {
+      auto e = makeExpr(AstExprKind::Size);
+      eat(Tok::KwSize);
+      return e;
+    }
+    if (at(Tok::KwAnySource)) {
+      auto e = makeExpr(AstExprKind::AnySource);
+      eat(Tok::KwAnySource);
+      return e;
+    }
+    if (at(Tok::LParen)) {
+      eat(Tok::LParen);
+      auto e = expression();
+      eat(Tok::RParen);
+      return e;
+    }
+    if (at(Tok::Ident)) {
+      auto e = makeExpr(AstExprKind::Var);
+      Token t = eat(Tok::Ident);
+      e->name = t.text;
+      if (at(Tok::LParen)) {
+        e->kind = AstExprKind::Intrinsic;
+        eat(Tok::LParen);
+        if (!at(Tok::RParen)) {
+          e->args.push_back(expression());
+          while (accept(Tok::Comma)) e->args.push_back(expression());
+        }
+        eat(Tok::RParen);
+      }
+      return e;
+    }
+    fail("expected an expression");
+  }
+};
+
+}  // namespace
+
+AstProgram parse(const std::string& source) {
+  Parser p(lex(source));
+  return p.program();
+}
+
+}  // namespace cypress::minic

@@ -1,0 +1,14 @@
+// MiniC recursive-descent parser.
+#pragma once
+
+#include <string>
+
+#include "minic/ast.hpp"
+
+namespace cypress::minic {
+
+/// Parse MiniC source into an AST. Throws cypress::Error with
+/// "minic:line:col: message" on syntax errors.
+AstProgram parse(const std::string& source);
+
+}  // namespace cypress::minic

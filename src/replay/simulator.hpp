@@ -1,0 +1,41 @@
+// SIM-MPI: the trace-driven performance simulator (paper §V, Fig. 14).
+//
+// Replays decompressed per-rank event sequences under the LogGP model:
+// point-to-point operations are matched through FIFO channels keyed by
+// (src, dst, tag, comm); collectives are decomposed into p2p trees via
+// the same cost model as the engine; local computation uses the
+// recorded per-event compute times. Because CYPRESS decompression is
+// sequence-preserving (including wildcard match sources), the replay is
+// fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simmpi/netmodel.hpp"
+#include "trace/event.hpp"
+
+namespace cypress::replay {
+
+struct Prediction {
+  uint64_t predictedNs = 0;            // max rank finish time
+  std::vector<uint64_t> rankClockNs;   // per-rank finish times
+  std::vector<uint64_t> rankCommNs;    // per-rank time inside MPI ops
+  uint64_t totalEvents = 0;
+
+  /// Average fraction of time ranks spend communicating.
+  double commPercent() const;
+};
+
+/// Simulate a full program trace. Throws cypress::Error on malformed
+/// traces (unmatched receives, deadlock, collective mismatch).
+Prediction simulate(const trace::RawTrace& t,
+                    const simmpi::LogGP& net = simmpi::LogGP::infiniband());
+
+/// Timed replay: instead of modeling the network, advance each rank by
+/// its recorded per-event times (compute + operation duration). This is
+/// the delta-time replay style of Ratn et al. (paper §VIII) — cheap,
+/// no matching, and a useful cross-check against the LogGP model.
+Prediction simulateRecordedTimes(const trace::RawTrace& t);
+
+}  // namespace cypress::replay

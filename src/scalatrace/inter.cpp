@@ -1,0 +1,166 @@
+#include "scalatrace/inter.hpp"
+
+#include "support/error.hpp"
+
+namespace cypress::scalatrace {
+
+namespace {
+
+/// ScalaTrace-2's loop-agnostic signature: operation identity without
+/// parameter values or iteration counts.
+bool sameSignature(const Element& a, const Element& b) {
+  if (a.isRsd != b.isRsd) return false;
+  if (a.isRsd) {
+    if (a.members.size() != b.members.size()) return false;
+    for (size_t i = 0; i < a.members.size(); ++i)
+      if (!sameSignature(a.members[i], b.members[i])) return false;
+    return true;
+  }
+  return a.op == b.op && a.callSiteId == b.callSiteId && a.comm == b.comm &&
+         a.peerKind == b.peerKind;
+}
+
+bool matches(const MElement& a, const Element& b, Flavor flavor) {
+  return flavor == Flavor::V1 ? a.elem.sameContent(b) : sameSignature(a.elem, b);
+}
+
+/// Align the running merged sequence with one more rank's sequence via
+/// longest-common-subsequence dynamic programming — the O(n·m) pairwise
+/// cost the paper attributes to dynamic methods.
+std::vector<MElement> align(std::vector<MElement>&& A,
+                            const std::vector<Element>& B, int rank,
+                            Flavor flavor) {
+  const size_t n = A.size();
+  const size_t m = B.size();
+  // dp[i][j] = LCS length of A[i..] vs B[j..].
+  std::vector<uint32_t> dp((n + 1) * (m + 1), 0);
+  auto at = [&](size_t i, size_t j) -> uint32_t& { return dp[i * (m + 1) + j]; };
+  for (size_t i = n; i-- > 0;) {
+    for (size_t j = m; j-- > 0;) {
+      uint32_t best = std::max(at(i + 1, j), at(i, j + 1));
+      if (matches(A[i], B[j], flavor)) best = std::max(best, at(i + 1, j + 1) + 1);
+      at(i, j) = best;
+    }
+  }
+
+  std::vector<MElement> out;
+  out.reserve(n + m);
+  size_t i = 0, j = 0;
+  while (i < n && j < m) {
+    if (matches(A[i], B[j], flavor) && at(i, j) == at(i + 1, j + 1) + 1) {
+      MElement merged = std::move(A[i]);
+      merged.ranks.insert(rank);
+      if (flavor == Flavor::V2) {
+        merged.elem.mergeStats(B[j]);
+        merged.countByRank[rank] = B[j].eventCount();
+      } else {
+        merged.elem.mergeStats(B[j]);
+      }
+      out.push_back(std::move(merged));
+      ++i;
+      ++j;
+    } else if (at(i + 1, j) >= at(i, j + 1)) {
+      out.push_back(std::move(A[i]));
+      ++i;
+    } else {
+      MElement fresh;
+      fresh.elem = B[j];
+      fresh.ranks = RankSet(rank);
+      if (flavor == Flavor::V2) fresh.countByRank[rank] = B[j].eventCount();
+      out.push_back(std::move(fresh));
+      ++j;
+    }
+  }
+  for (; i < n; ++i) out.push_back(std::move(A[i]));
+  for (; j < m; ++j) {
+    MElement fresh;
+    fresh.elem = B[j];
+    fresh.ranks = RankSet(rank);
+    if (flavor == Flavor::V2) fresh.countByRank[rank] = B[j].eventCount();
+    out.push_back(std::move(fresh));
+  }
+  return out;
+}
+
+}  // namespace
+
+MergedSeq mergeSequences(const std::vector<const std::vector<Element>*>& seqs,
+                         Flavor flavor, CostMeter* interCost) {
+  CYP_CHECK(!seqs.empty(), "mergeSequences with no ranks");
+  Stopwatch watch;
+  MergedSeq out;
+  out.flavor = flavor;
+  out.elems.reserve(seqs[0]->size());
+  for (const Element& e : *seqs[0]) {
+    MElement m;
+    m.elem = e;
+    m.ranks = RankSet(0);
+    if (flavor == Flavor::V2) m.countByRank[0] = e.eventCount();
+    out.elems.push_back(std::move(m));
+  }
+  for (size_t r = 1; r < seqs.size(); ++r) {
+    out.elems = align(std::move(out.elems), *seqs[r], static_cast<int>(r), flavor);
+  }
+  if (interCost) interCost->add(watch.ns());
+  return out;
+}
+
+std::vector<trace::Event> decompressRank(const MergedSeq& m, int rank) {
+  CYP_CHECK(m.flavor == Flavor::V1,
+            "ScalaTrace-2 merged traces are lossy; exact per-rank "
+            "decompression is not available (by design)");
+  std::vector<Element> mine;
+  for (const MElement& e : m.elems)
+    if (e.ranks.contains(rank)) mine.push_back(e.elem);
+  return expandElements(mine, rank);
+}
+
+uint64_t eventCountForRank(const MergedSeq& m, int rank) {
+  uint64_t total = 0;
+  for (const MElement& e : m.elems) {
+    if (!e.ranks.contains(rank)) continue;
+    if (m.flavor == Flavor::V1) {
+      total += e.elem.eventCount();
+    } else {
+      auto it = e.countByRank.find(rank);
+      if (it != e.countByRank.end()) total += it->second;
+    }
+  }
+  return total;
+}
+
+std::vector<uint8_t> MergedSeq::serialize() const {
+  ByteWriter w;
+  w.str("STM1");
+  w.u8(flavor == Flavor::V1 ? 1 : 2);
+  w.uv(elems.size());
+  for (const MElement& e : elems) {
+    e.elem.serialize(w);
+    e.ranks.serialize(w);
+    if (flavor == Flavor::V2) {
+      // Per-rank counts, stride-compressed in rank order (usually one
+      // constant section in SPMD programs).
+      SectionSeq counts;
+      for (int32_t r : e.ranks.ranks()) {
+        auto it = e.countByRank.find(r);
+        counts.append(it == e.countByRank.end()
+                          ? 0
+                          : static_cast<int64_t>(it->second));
+      }
+      counts.serialize(w);
+    }
+  }
+  return w.take();
+}
+
+size_t MergedSeq::memoryBytes() const {
+  size_t t = sizeof(*this) + elems.capacity() * sizeof(MElement);
+  for (const MElement& e : elems) {
+    t += e.elem.memoryBytes() - sizeof(Element);
+    t += e.ranks.memoryBytes() - sizeof(RankSet);
+    t += e.countByRank.size() * (sizeof(int32_t) + sizeof(uint64_t) + 32);
+  }
+  return t;
+}
+
+}  // namespace cypress::scalatrace

@@ -1,0 +1,56 @@
+// Inter-process merging for the dynamic baselines (the expensive part
+// the paper contrasts CYPRESS against).
+//
+// Without a shared static template, per-process compressed sequences
+// must be *aligned*: merging one pair costs O(n·m) (LCS dynamic
+// programming over compressed elements), and the master-slave fold used
+// by the tools makes total cost grow linearly with P — exactly the
+// scaling pathology reported in the paper (§I, §VII-C2).
+//
+// Flavor V1 (ScalaTrace) matches elements only on full content, so the
+// merged trace is losslessly per-rank reconstructible. Flavor V2
+// (ScalaTrace-2) matches "loop-agnostically" on operation signatures and
+// pools parameter values — better ratios on irregular apps, but the
+// per-rank interleaving is no longer exactly recoverable (the paper
+// notes ScalaTrace-2 "only preserves partial communication information").
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "scalatrace/element.hpp"
+#include "support/rank_set.hpp"
+#include "support/timer.hpp"
+
+namespace cypress::scalatrace {
+
+struct MElement {
+  Element elem;
+  RankSet ranks;
+  /// V2 only: per-rank raw event counts (the aggregate ScalaTrace-2
+  /// keeps once exact interleaving is given up).
+  std::map<int32_t, uint64_t> countByRank;
+};
+
+struct MergedSeq {
+  Flavor flavor = Flavor::V1;
+  std::vector<MElement> elems;
+
+  std::vector<uint8_t> serialize() const;
+  size_t memoryBytes() const;
+};
+
+/// Master-slave sequential merge of per-rank compressed sequences
+/// (index = rank). `interCost` accumulates pure merge CPU time.
+MergedSeq mergeSequences(const std::vector<const std::vector<Element>*>& seqs,
+                         Flavor flavor, CostMeter* interCost = nullptr);
+
+/// Exact per-rank reconstruction (V1 only; throws for V2, whose merge is
+/// lossy by design).
+std::vector<trace::Event> decompressRank(const MergedSeq& m, int rank);
+
+/// Total number of raw events represented for a rank (works for both
+/// flavors; for V2 this is the preserved aggregate information).
+uint64_t eventCountForRank(const MergedSeq& m, int rank);
+
+}  // namespace cypress::scalatrace

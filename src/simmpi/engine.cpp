@@ -1,0 +1,608 @@
+#include "simmpi/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace cypress::simmpi {
+
+Engine::Engine(const Config& cfg)
+    : net_(cfg.net), jitter_(cfg.jitter), rng_(cfg.seed) {
+  CYP_CHECK(cfg.numRanks >= 1, "engine needs at least one rank");
+  ranks_.resize(static_cast<size_t>(cfg.numRanks));
+  // Communicator 0 is MPI_COMM_WORLD.
+  std::vector<int> world(static_cast<size_t>(cfg.numRanks));
+  for (int r = 0; r < cfg.numRanks; ++r) world[static_cast<size_t>(r)] = r;
+  comms_.push_back(std::move(world));
+}
+
+int64_t Engine::takeOpResult(int rank) {
+  RankState& r = rs(rank);
+  const int64_t v = r.opResult;
+  r.opResult = -1;
+  return v;
+}
+
+const std::vector<int>& Engine::commMembers(int comm) const {
+  CYP_CHECK(comm >= 0 && static_cast<size_t>(comm) < comms_.size(),
+            "unknown communicator " << comm);
+  return comms_[static_cast<size_t>(comm)];
+}
+
+void Engine::setObserver(int rank, trace::Observer* obs) {
+  rs(rank).observer = obs;
+}
+
+uint64_t Engine::jittered(uint64_t ns, int /*rank*/) {
+  if (jitter_ <= 0.0 || ns == 0) return ns;
+  const double f = 1.0 + jitter_ * (2.0 * rng_.uniform() - 1.0);
+  return static_cast<uint64_t>(static_cast<double>(ns) * f);
+}
+
+void Engine::addCompute(int rank, uint64_t ns) {
+  const uint64_t j = jittered(ns, rank);
+  rs(rank).clock += j;
+  rs(rank).computeAccum += j;
+}
+
+uint64_t Engine::executionTimeNs() const {
+  uint64_t t = 0;
+  for (const auto& r : ranks_) t = std::max(t, r.clock);
+  return t;
+}
+
+bool Engine::takeProgressFlag() {
+  const bool p = progress_;
+  progress_ = false;
+  return p;
+}
+
+void Engine::emit(int rank, trace::Event e, uint64_t durationNs) {
+  RankState& r = rs(rank);
+  e.computeNs = r.computeAccum;
+  r.computeAccum = 0;
+  e.durationNs = durationNs;
+  r.commTime += durationNs;
+  if (r.observer) r.observer->onEvent(e);
+  progress_ = true;
+}
+
+bool Engine::matches(const Request& r, const Message& m) const {
+  if (r.comm != m.comm) return false;
+  if (r.tag != m.tag) return false;
+  if (r.peer != trace::kAnySource && r.peer != m.src) return false;
+  // MPI truncation rule: a message larger than the posted receive buffer
+  // is a program error (MPI_ERR_TRUNCATE). Smaller messages are fine.
+  CYP_CHECK(m.bytes <= r.bytes, "message truncation: " << m.bytes
+                                    << "-byte message from rank " << m.src
+                                    << " into a " << r.bytes
+                                    << "-byte receive (tag " << m.tag << ")");
+  return true;
+}
+
+void Engine::deliver(const Message& m) {
+  RankState& dst = rs(m.dst);
+  // Try posted receives in posting order (MPI non-overtaking rule).
+  for (size_t i = 0; i < dst.pendingRecvs.size(); ++i) {
+    Request& req = dst.requests[static_cast<size_t>(dst.pendingRecvs[i])];
+    if (!req.complete && matches(req, m)) {
+      req.complete = true;
+      req.matchedSource = m.src;
+      req.completeNs = std::max(m.arrivalNs, dst.clock);
+      dst.pendingRecvs.erase(dst.pendingRecvs.begin() + static_cast<ssize_t>(i));
+      progress_ = true;
+      return;
+    }
+  }
+  dst.unexpected.push_back(m);
+}
+
+bool Engine::tryMatchRecv(int rank, int64_t reqIdx) {
+  RankState& r = rs(rank);
+  Request& req = r.requests[static_cast<size_t>(reqIdx)];
+  for (size_t i = 0; i < r.unexpected.size(); ++i) {
+    const Message& m = r.unexpected[i];
+    if (matches(req, m)) {
+      req.complete = true;
+      req.matchedSource = m.src;
+      req.completeNs = std::max(m.arrivalNs, r.clock);
+      r.unexpected.erase(r.unexpected.begin() + static_cast<ssize_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+Engine::Collective& Engine::collectiveSlot(int comm, int seq) {
+  auto& dq = collectives_[comm];
+  int& base = collBase_[comm];
+  if (dq.empty() && seq >= base) {
+    // Drop fully-consumed prefix lazily by re-basing.
+    base = base == 0 && seq == 0 ? 0 : base;
+  }
+  CYP_CHECK(seq >= base, "collective sequence went backwards");
+  while (static_cast<size_t>(seq - base) >= dq.size()) {
+    Collective c;
+    c.arrivals.resize(ranks_.size());
+    dq.push_back(std::move(c));
+  }
+  return dq[static_cast<size_t>(seq - base)];
+}
+
+void Engine::completeSplit(int comm, Collective& c) {
+  // Deterministic group formation: distinct non-negative colors in
+  // ascending order each get the next communicator id; members ordered
+  // by (key, world rank).
+  const std::vector<int>& parent = comms_[static_cast<size_t>(comm)];
+  std::map<int32_t, std::vector<std::pair<int32_t, int>>> groups;
+  for (int member : parent) {
+    const auto& [color, key] = c.splitArgs[static_cast<size_t>(member)];
+    if (color >= 0) groups[color].push_back({key, member});
+  }
+  c.splitResult.assign(ranks_.size(), -1);
+  for (auto& [color, members] : groups) {
+    std::sort(members.begin(), members.end());
+    const int id = static_cast<int>(comms_.size());
+    std::vector<int> worldRanks;
+    worldRanks.reserve(members.size());
+    for (const auto& [key, member] : members) {
+      worldRanks.push_back(member);
+      c.splitResult[static_cast<size_t>(member)] = id;
+    }
+    std::sort(worldRanks.begin(), worldRanks.end());
+    comms_.push_back(std::move(worldRanks));
+  }
+}
+
+OpStatus Engine::handleCollective(int rank, const OpDesc& d) {
+  RankState& r = rs(rank);
+  const std::vector<int>& members = commMembers(d.comm);
+  CYP_CHECK(std::binary_search(members.begin(), members.end(), rank),
+            "rank " << rank << " called " << ir::mpiOpName(d.op)
+                    << " on communicator " << d.comm << " it is not part of");
+  if (r.collSeq.size() <= static_cast<size_t>(d.comm))
+    r.collSeq.resize(static_cast<size_t>(d.comm) + 1, 0);
+  const int seq = r.collSeq[static_cast<size_t>(d.comm)]++;
+  Collective& c = collectiveSlot(d.comm, seq);
+
+  if (c.arrived == 0) {
+    c.op = d.op;
+    c.bytes = d.bytes;
+    c.root = d.peer;
+    if (d.op == ir::MpiOp::CommSplit)
+      c.splitArgs.assign(ranks_.size(), {0, 0});
+  } else {
+    CYP_CHECK(c.op == d.op, "collective mismatch: rank " << rank << " called "
+                                << ir::mpiOpName(d.op) << " where others called "
+                                << ir::mpiOpName(c.op));
+    if (d.op != ir::MpiOp::CommSplit) {
+      CYP_CHECK(c.bytes == d.bytes, "collective size mismatch on "
+                                        << ir::mpiOpName(d.op));
+      CYP_CHECK(c.root == d.peer, "collective root mismatch on "
+                                      << ir::mpiOpName(d.op));
+    }
+  }
+  c.arrivals[static_cast<size_t>(rank)] = {r.clock, d.callSiteId};
+  if (d.op == ir::MpiOp::CommSplit)
+    c.splitArgs[static_cast<size_t>(rank)] = {d.color, d.key};
+  ++c.arrived;
+
+  if (c.arrived == static_cast<int>(members.size())) {
+    uint64_t t0 = 0;
+    for (int m : members)
+      t0 = std::max(t0, c.arrivals[static_cast<size_t>(m)]->first);
+    const ir::MpiOp costOp =
+        d.op == ir::MpiOp::CommSplit ? ir::MpiOp::Barrier : d.op;
+    c.finishNs = t0 + jittered(net_.collectiveCost(
+                                   costOp, d.bytes,
+                                   static_cast<int>(members.size())),
+                               rank);
+    c.done = true;
+    if (d.op == ir::MpiOp::CommSplit) completeSplit(d.comm, c);
+    // Complete this rank inline; the others complete via poll().
+    const uint64_t arrive = c.arrivals[static_cast<size_t>(rank)]->first;
+    r.clock = c.finishNs;
+    trace::Event e;
+    e.op = d.op;
+    e.peer = d.peer;
+    e.bytes = d.bytes;
+    e.comm = d.comm;
+    e.callSiteId = d.callSiteId;
+    if (d.op == ir::MpiOp::CommSplit) {
+      e.bytes = d.color;
+      e.tag = d.key;
+      e.reqId = c.splitResult[static_cast<size_t>(rank)];
+      r.opResult = e.reqId;
+    }
+    emit(rank, e, c.finishNs - arrive);
+    return OpStatus::Complete;
+  }
+
+  r.pending.kind = PendingKind::Collective;
+  r.pending.desc = d;
+  r.pending.reqIdx = seq;
+  r.pending.blockStartNs = r.clock;
+  return OpStatus::Blocked;
+}
+
+OpStatus Engine::execute(int rank, const OpDesc& d, int64_t* reqIdOut) {
+  RankState& r = rs(rank);
+  CYP_CHECK(r.pending.kind == PendingKind::None,
+            "rank " << rank << " issued an op while one is pending");
+  CYP_CHECK(!r.finalized, "rank " << rank << " issued an op after finalize");
+
+  switch (d.op) {
+    case ir::MpiOp::Send: {
+      CYP_CHECK(d.peer >= 0 && d.peer < numRanks(),
+                "Send to invalid rank " << d.peer);
+      Message m{rank, d.peer, d.tag, d.comm, d.bytes,
+                r.clock + jittered(net_.transferTime(d.bytes), rank), r.msgSeq++};
+      const uint64_t cost = jittered(net_.sendOverhead(d.bytes), rank);
+      r.clock += cost;
+      deliver(m);
+      trace::Event e;
+      e.op = d.op;
+      e.peer = d.peer;
+      e.bytes = d.bytes;
+      e.tag = d.tag;
+      e.comm = d.comm;
+      e.callSiteId = d.callSiteId;
+      emit(rank, e, cost);
+      return OpStatus::Complete;
+    }
+    case ir::MpiOp::Isend: {
+      CYP_CHECK(d.peer >= 0 && d.peer < numRanks(),
+                "Isend to invalid rank " << d.peer);
+      Request req;
+      req.kind = ir::MpiOp::Isend;
+      req.peer = d.peer;
+      req.bytes = d.bytes;
+      req.tag = d.tag;
+      req.comm = d.comm;
+      req.postSite = d.callSiteId;
+      req.complete = true;  // eager: buffer reusable after local copy
+      req.completeNs = r.clock + jittered(net_.sendOverhead(d.bytes), rank);
+      r.requests.push_back(req);
+      const int64_t id = static_cast<int64_t>(r.requests.size()) - 1;
+      r.outstanding.push_back(id);
+      if (reqIdOut) *reqIdOut = id;
+      Message m{rank, d.peer, d.tag, d.comm, d.bytes,
+                r.clock + jittered(net_.transferTime(d.bytes), rank), r.msgSeq++};
+      deliver(m);
+      const uint64_t cost = static_cast<uint64_t>(net_.overheadNs);
+      r.clock += cost;
+      trace::Event e;
+      e.op = d.op;
+      e.peer = d.peer;
+      e.bytes = d.bytes;
+      e.tag = d.tag;
+      e.comm = d.comm;
+      e.callSiteId = d.callSiteId;
+      emit(rank, e, cost);
+      return OpStatus::Complete;
+    }
+    case ir::MpiOp::Irecv: {
+      Request req;
+      req.kind = ir::MpiOp::Irecv;
+      req.peer = d.peer;  // may be kAnySource
+      req.bytes = d.bytes;
+      req.tag = d.tag;
+      req.comm = d.comm;
+      req.postSite = d.callSiteId;
+      r.requests.push_back(req);
+      const int64_t id = static_cast<int64_t>(r.requests.size()) - 1;
+      r.outstanding.push_back(id);
+      if (reqIdOut) *reqIdOut = id;
+      if (!tryMatchRecv(rank, id)) r.pendingRecvs.push_back(id);
+      const uint64_t cost = static_cast<uint64_t>(net_.overheadNs);
+      r.clock += cost;
+      trace::Event e;
+      e.op = d.op;
+      e.peer = d.peer;
+      e.bytes = d.bytes;
+      e.tag = d.tag;
+      e.comm = d.comm;
+      e.callSiteId = d.callSiteId;
+      emit(rank, e, cost);
+      return OpStatus::Complete;
+    }
+    case ir::MpiOp::Recv: {
+      Request req;
+      req.kind = ir::MpiOp::Recv;
+      req.peer = d.peer;
+      req.bytes = d.bytes;
+      req.tag = d.tag;
+      req.comm = d.comm;
+      req.postSite = d.callSiteId;
+      req.consumed = true;  // not visible to Waitall/Waitany
+      r.requests.push_back(req);
+      const int64_t id = static_cast<int64_t>(r.requests.size()) - 1;
+      r.pending.kind = PendingKind::Recv;
+      r.pending.desc = d;
+      r.pending.reqIdx = id;
+      r.pending.blockStartNs = r.clock;
+      if (!tryMatchRecv(rank, id)) {
+        r.pendingRecvs.push_back(id);
+        if (!r.requests[static_cast<size_t>(id)].complete) return OpStatus::Blocked;
+      }
+      completePending(rank);
+      return OpStatus::Complete;
+    }
+    case ir::MpiOp::Wait: {
+      CYP_CHECK(d.waitReqId >= 0 &&
+                    d.waitReqId < static_cast<int64_t>(r.requests.size()),
+                "Wait on invalid request " << d.waitReqId);
+      Request& req = r.requests[static_cast<size_t>(d.waitReqId)];
+      CYP_CHECK(!req.consumed, "Wait on already-completed request");
+      r.pending.kind = PendingKind::Wait;
+      r.pending.desc = d;
+      r.pending.reqIdx = d.waitReqId;
+      r.pending.blockStartNs = r.clock;
+      if (!req.complete) return OpStatus::Blocked;
+      completePending(rank);
+      return OpStatus::Complete;
+    }
+    case ir::MpiOp::Waitall:
+    case ir::MpiOp::Waitany:
+    case ir::MpiOp::Waitsome: {
+      r.pending.kind = d.op == ir::MpiOp::Waitall  ? PendingKind::Waitall
+                       : d.op == ir::MpiOp::Waitany ? PendingKind::Waitany
+                                                    : PendingKind::Waitsome;
+      r.pending.desc = d;
+      r.pending.blockStartNs = r.clock;
+      if (!pendingSatisfied(rank)) return OpStatus::Blocked;
+      completePending(rank);
+      return OpStatus::Complete;
+    }
+    case ir::MpiOp::Barrier:
+    case ir::MpiOp::Bcast:
+    case ir::MpiOp::Reduce:
+    case ir::MpiOp::Allreduce:
+    case ir::MpiOp::Allgather:
+    case ir::MpiOp::Alltoall:
+    case ir::MpiOp::Gather:
+    case ir::MpiOp::Scatter:
+    case ir::MpiOp::Scan:
+    case ir::MpiOp::CommSplit:
+      return handleCollective(rank, d);
+  }
+  CYP_FAIL("bad op");
+}
+
+bool Engine::pendingSatisfied(int rank) {
+  RankState& r = rs(rank);
+  switch (r.pending.kind) {
+    case PendingKind::None:
+      return false;
+    case PendingKind::Recv:
+    case PendingKind::Wait:
+      return r.requests[static_cast<size_t>(r.pending.reqIdx)].complete;
+    case PendingKind::Waitall: {
+      for (int64_t id : r.outstanding)
+        if (!r.requests[static_cast<size_t>(id)].complete) return false;
+      return true;
+    }
+    case PendingKind::Waitany:
+    case PendingKind::Waitsome: {
+      // Wait{any,some} with no outstanding requests is a program bug.
+      CYP_CHECK(!r.outstanding.empty(),
+                ir::mpiOpName(r.pending.desc.op)
+                    << " with no outstanding requests on rank " << rank);
+      for (int64_t id : r.outstanding)
+        if (r.requests[static_cast<size_t>(id)].complete) return true;
+      return false;
+    }
+    case PendingKind::Collective: {
+      const auto& dq = collectives_.at(r.pending.desc.comm);
+      const int base = collBase_.at(r.pending.desc.comm);
+      return dq[static_cast<size_t>(r.pending.reqIdx - base)].done;
+    }
+  }
+  return false;
+}
+
+void Engine::completePending(int rank) {
+  RankState& r = rs(rank);
+  const PendingOp p = r.pending;
+  r.pending = PendingOp{};
+
+  switch (p.kind) {
+    case PendingKind::None:
+      CYP_FAIL("completePending with no pending op");
+    case PendingKind::Recv: {
+      Request& req = r.requests[static_cast<size_t>(p.reqIdx)];
+      const uint64_t done =
+          std::max(req.completeNs, r.clock) + net_.recvOverhead(req.bytes);
+      const uint64_t duration = done - p.blockStartNs;
+      r.clock = done;
+      trace::Event e;
+      e.op = ir::MpiOp::Recv;
+      e.peer = p.desc.peer;
+      e.bytes = req.bytes;
+      e.tag = req.tag;
+      e.comm = req.comm;
+      e.callSiteId = p.desc.callSiteId;
+      if (p.desc.peer == trace::kAnySource) e.matchedSource = req.matchedSource;
+      emit(rank, e, duration);
+      return;
+    }
+    case PendingKind::Wait: {
+      Request& req = r.requests[static_cast<size_t>(p.reqIdx)];
+      req.consumed = true;
+      std::erase(r.outstanding, p.reqIdx);
+      const uint64_t done = std::max(req.completeNs, r.clock) +
+                            (req.kind == ir::MpiOp::Irecv
+                                 ? net_.recvOverhead(req.bytes)
+                                 : 0);
+      const uint64_t duration = done - p.blockStartNs;
+      r.clock = done;
+      trace::Event e;
+      e.op = ir::MpiOp::Wait;
+      e.peer = req.peer;
+      e.bytes = req.bytes;
+      e.tag = req.tag;
+      e.comm = req.comm;
+      e.callSiteId = p.desc.callSiteId;
+      e.reqId = req.postSite;  // the paper's request->GID mapping
+      if (req.kind == ir::MpiOp::Irecv && req.peer == trace::kAnySource)
+        e.matchedSource = req.matchedSource;
+      emit(rank, e, duration);
+      return;
+    }
+    case PendingKind::Waitall: {
+      uint64_t done = r.clock;
+      for (int64_t id : r.outstanding) {
+        Request& q = r.requests[static_cast<size_t>(id)];
+        q.consumed = true;
+        done = std::max(done, q.completeNs);
+      }
+      r.outstanding.clear();
+      done += net_.recvOverhead(0);
+      const uint64_t duration = done - p.blockStartNs;
+      r.clock = done;
+      trace::Event e;
+      e.op = ir::MpiOp::Waitall;
+      e.comm = p.desc.comm;
+      e.callSiteId = p.desc.callSiteId;
+      emit(rank, e, duration);
+      return;
+    }
+    case PendingKind::Waitany: {
+      // Deterministic: the earliest-completed outstanding request.
+      int64_t best = -1;
+      for (int64_t id : r.outstanding) {
+        const Request& q = r.requests[static_cast<size_t>(id)];
+        if (!q.complete) continue;
+        if (best < 0 ||
+            q.completeNs < r.requests[static_cast<size_t>(best)].completeNs) {
+          best = id;
+        }
+      }
+      CYP_CHECK(best >= 0, "Waitany completed without a complete request");
+      Request& req = r.requests[static_cast<size_t>(best)];
+      req.consumed = true;
+      std::erase(r.outstanding, best);
+      const uint64_t done = std::max(req.completeNs, r.clock) +
+                            net_.recvOverhead(req.bytes);
+      const uint64_t duration = done - p.blockStartNs;
+      r.clock = done;
+      trace::Event e;
+      e.op = ir::MpiOp::Waitany;
+      e.peer = req.peer;
+      e.bytes = req.bytes;
+      e.tag = req.tag;
+      e.comm = req.comm;
+      e.callSiteId = p.desc.callSiteId;
+      e.reqId = req.postSite;
+      if (req.kind == ir::MpiOp::Irecv && req.peer == trace::kAnySource)
+        e.matchedSource = req.matchedSource;
+      emit(rank, e, duration);
+      return;
+    }
+    case PendingKind::Waitsome: {
+      // Complete every currently-complete outstanding request, emitting
+      // one event per completion (the paper's partial-completion ops,
+      // recorded via their posting-site GIDs, §IV-A).
+      std::vector<int64_t> ready;
+      for (int64_t id : r.outstanding)
+        if (r.requests[static_cast<size_t>(id)].complete) ready.push_back(id);
+      CYP_CHECK(!ready.empty(), "Waitsome completed without a complete request");
+      uint64_t done = r.clock;
+      for (int64_t id : ready) {
+        Request& req = r.requests[static_cast<size_t>(id)];
+        req.consumed = true;
+        std::erase(r.outstanding, id);
+        done = std::max(done, req.completeNs);
+      }
+      done += net_.recvOverhead(0);
+      const uint64_t total = done - p.blockStartNs;
+      r.clock = done;
+      for (size_t k = 0; k < ready.size(); ++k) {
+        const Request& req = r.requests[static_cast<size_t>(ready[k])];
+        trace::Event e;
+        e.op = ir::MpiOp::Waitsome;
+        e.peer = req.peer;
+        e.bytes = req.bytes;
+        e.tag = req.tag;
+        e.comm = req.comm;
+        e.callSiteId = p.desc.callSiteId;
+        e.reqId = req.postSite;
+        if (req.kind == ir::MpiOp::Irecv && req.peer == trace::kAnySource)
+          e.matchedSource = req.matchedSource;
+        // Charge the wall time once (on the first completion event).
+        emit(rank, e, k == 0 ? total : 0);
+      }
+      return;
+    }
+    case PendingKind::Collective: {
+      const auto& dq = collectives_.at(p.desc.comm);
+      const int base = collBase_.at(p.desc.comm);
+      const Collective& c = dq[static_cast<size_t>(p.reqIdx - base)];
+      const uint64_t duration = c.finishNs - p.blockStartNs;
+      r.clock = c.finishNs;
+      trace::Event e;
+      e.op = p.desc.op;
+      e.peer = p.desc.peer;
+      e.bytes = p.desc.bytes;
+      e.comm = p.desc.comm;
+      e.callSiteId = p.desc.callSiteId;
+      if (p.desc.op == ir::MpiOp::CommSplit) {
+        e.bytes = p.desc.color;
+        e.tag = p.desc.key;
+        e.reqId = c.splitResult[static_cast<size_t>(rank)];
+        r.opResult = e.reqId;
+      }
+      emit(rank, e, duration);
+      return;
+    }
+  }
+}
+
+OpStatus Engine::poll(int rank) {
+  RankState& r = rs(rank);
+  CYP_CHECK(r.pending.kind != PendingKind::None,
+            "poll on rank " << rank << " with no pending op");
+  if (!pendingSatisfied(rank)) return OpStatus::Blocked;
+  completePending(rank);
+  return OpStatus::Complete;
+}
+
+void Engine::finalizeRank(int rank) {
+  RankState& r = rs(rank);
+  CYP_CHECK(r.pending.kind == PendingKind::None,
+            "rank " << rank << " finalized with a pending op");
+  for (size_t i = 0; i < r.requests.size(); ++i) {
+    CYP_CHECK(r.requests[i].consumed,
+              "rank " << rank << " finalized with outstanding request " << i);
+  }
+  CYP_CHECK(r.outstanding.empty(),
+            "rank " << rank << " finalized with outstanding requests");
+  r.finalized = true;
+  if (r.observer) r.observer->onFinalize();
+}
+
+std::string Engine::pendingDescription(int rank) const {
+  const RankState& r = rs(rank);
+  std::ostringstream os;
+  os << "rank " << rank << ": ";
+  switch (r.pending.kind) {
+    case PendingKind::None: os << "runnable"; break;
+    case PendingKind::Recv:
+      os << "blocked in MPI_Recv(src=" << r.pending.desc.peer
+         << ", tag=" << r.pending.desc.tag << ")";
+      break;
+    case PendingKind::Wait: os << "blocked in MPI_Wait"; break;
+    case PendingKind::Waitall: os << "blocked in MPI_Waitall"; break;
+    case PendingKind::Waitany: os << "blocked in MPI_Waitany"; break;
+    case PendingKind::Waitsome: os << "blocked in MPI_Waitsome"; break;
+    case PendingKind::Collective:
+      os << "blocked in " << ir::mpiOpName(r.pending.desc.op) << " (seq "
+         << r.pending.reqIdx << ")";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace cypress::simmpi

@@ -1,0 +1,195 @@
+// The simulated MPI engine: deterministic message matching, request
+// objects, collectives, wildcard receives, per-rank virtual clocks.
+//
+// This is the repository's stand-in for a real MPI library underneath
+// the PMPI layer. Ranks are driven by resumable VMs (see vm/): when an
+// operation cannot complete, execute() returns Blocked and the rank's
+// scheduler retries via poll() once other ranks make progress. All
+// matching and completion orders are deterministic functions of the
+// schedule, so whole-program runs are reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "simmpi/netmodel.hpp"
+#include "support/rng.hpp"
+#include "trace/observer.hpp"
+
+namespace cypress::simmpi {
+
+enum class OpStatus : uint8_t { Complete, Blocked };
+
+/// One MPI operation as issued by a rank (already-evaluated arguments).
+struct OpDesc {
+  ir::MpiOp op = ir::MpiOp::Barrier;
+  int32_t peer = trace::kNoPeer;  // dst / src / root
+  int64_t bytes = 0;
+  int32_t tag = 0;
+  int32_t comm = 0;
+  int32_t callSiteId = -1;
+  int64_t waitReqId = -1;  // Wait: the request handle to complete
+  int32_t color = 0;       // CommSplit
+  int32_t key = 0;         // CommSplit
+};
+
+class Engine {
+ public:
+  struct Config {
+    int numRanks = 1;
+    LogGP net = LogGP::infiniband();
+    /// Deterministic per-event jitter applied to compute/transfer times,
+    /// as a fraction (0.1 = ±10%). Makes time statistics non-degenerate.
+    double jitter = 0.05;
+    uint64_t seed = 42;
+  };
+
+  explicit Engine(const Config& cfg);
+
+  int numRanks() const { return static_cast<int>(ranks_.size()); }
+
+  /// Attach the PMPI observer for a rank (may be null).
+  void setObserver(int rank, trace::Observer* obs);
+
+  /// Issue an operation for `rank`. On Complete the event has been
+  /// delivered to the observer. On Blocked the engine remembers the
+  /// pending condition; the caller must call poll() until it reports
+  /// completion before issuing another operation for this rank.
+  /// For Isend/Irecv, *reqIdOut receives the request handle.
+  OpStatus execute(int rank, const OpDesc& d, int64_t* reqIdOut = nullptr);
+
+  /// Re-check a blocked rank. Returns Complete exactly once per blocked
+  /// operation (after which the rank may proceed).
+  OpStatus poll(int rank);
+
+  /// Result of the last completed handle-producing op (CommSplit): valid
+  /// after execute()/poll() returned Complete for it.
+  int64_t takeOpResult(int rank);
+
+  /// Members (world ranks) of a communicator; comm 0 is MPI_COMM_WORLD.
+  const std::vector<int>& commMembers(int comm) const;
+
+  /// Account local computation time (advances the rank's clock).
+  void addCompute(int rank, uint64_t ns);
+
+  /// Mark a rank finished (MPI_Finalize): flushes the observer.
+  void finalizeRank(int rank);
+
+  /// Measured virtual time of a rank.
+  uint64_t clockNs(int rank) const { return ranks_[static_cast<size_t>(rank)].clock; }
+
+  /// Max clock across ranks = measured program execution time.
+  uint64_t executionTimeNs() const;
+
+  /// Total time ranks spent inside communication ops (for the
+  /// communication-percentage analysis of Fig. 21).
+  uint64_t commTimeNs(int rank) const {
+    return ranks_[static_cast<size_t>(rank)].commTime;
+  }
+
+  /// True when some operation completed since the last call (used by the
+  /// scheduler's deadlock detection).
+  bool takeProgressFlag();
+
+  /// Diagnostic snapshot of a blocked rank's pending condition.
+  std::string pendingDescription(int rank) const;
+
+ private:
+  struct Request {
+    ir::MpiOp kind = ir::MpiOp::Isend;
+    int32_t peer = 0;  // dst for isend, src (or ANY) for irecv
+    int64_t bytes = 0;
+    int32_t tag = 0;
+    int32_t comm = 0;
+    int32_t postSite = -1;
+    bool complete = false;
+    bool consumed = false;
+    int32_t matchedSource = -1;
+    uint64_t completeNs = 0;
+  };
+
+  struct Message {
+    int32_t src, dst, tag, comm;
+    int64_t bytes;
+    uint64_t arrivalNs;
+    uint64_t seq;
+  };
+
+  enum class PendingKind : uint8_t {
+    None, Recv, Wait, Waitall, Waitany, Waitsome, Collective
+  };
+
+  struct PendingOp {
+    PendingKind kind = PendingKind::None;
+    OpDesc desc;
+    int64_t reqIdx = -1;       // Recv/Wait: request being completed
+    uint64_t blockStartNs = 0; // when the rank started waiting
+  };
+
+  struct RankState {
+    uint64_t clock = 0;
+    uint64_t commTime = 0;
+    uint64_t computeAccum = 0;  // compute since previous event
+    std::vector<Request> requests;
+    std::vector<int64_t> outstanding;    // non-blocking requests not yet waited
+    std::deque<Message> unexpected;      // arrived, unmatched messages
+    std::vector<int64_t> pendingRecvs;   // posted, unmatched recv requests
+    std::vector<int> collSeq;            // per-comm collective counters
+    PendingOp pending;
+    trace::Observer* observer = nullptr;
+    uint64_t msgSeq = 0;
+    int64_t opResult = -1;  // CommSplit result handle
+    bool finalized = false;
+  };
+
+  struct Collective {
+    ir::MpiOp op = ir::MpiOp::Barrier;
+    int64_t bytes = 0;
+    int32_t root = -1;
+    int arrived = 0;
+    bool done = false;
+    uint64_t finishNs = 0;
+    // per-rank arrival info (clock, callSiteId); index by world rank.
+    std::vector<std::optional<std::pair<uint64_t, int32_t>>> arrivals;
+    // CommSplit payloads: (color, key) per world rank, and the resulting
+    // communicator handle per world rank once complete.
+    std::vector<std::pair<int32_t, int32_t>> splitArgs;
+    std::vector<int32_t> splitResult;
+  };
+
+  RankState& rs(int rank) { return ranks_[static_cast<size_t>(rank)]; }
+  const RankState& rs(int rank) const { return ranks_[static_cast<size_t>(rank)]; }
+
+  uint64_t jittered(uint64_t ns, int rank);
+  void emit(int rank, trace::Event e, uint64_t durationNs);
+
+  /// Try to match a posted receive request against unexpected messages.
+  bool tryMatchRecv(int rank, int64_t reqIdx);
+  void deliver(const Message& m);
+  bool matches(const Request& r, const Message& m) const;
+
+  OpStatus handleCollective(int rank, const OpDesc& d);
+  bool pendingSatisfied(int rank);
+  void completePending(int rank);
+
+  Collective& collectiveSlot(int comm, int seq);
+
+  void completeSplit(int comm, Collective& c);
+
+  std::vector<RankState> ranks_;
+  std::vector<std::vector<int>> comms_;  // comm id -> member world ranks
+  LogGP net_;
+  double jitter_;
+  Rng rng_;
+  // Collectives per communicator, indexed by sequence number.
+  std::map<int, std::deque<Collective>> collectives_;
+  std::map<int, int> collBase_;  // first live sequence number per comm
+  bool progress_ = false;
+};
+
+}  // namespace cypress::simmpi

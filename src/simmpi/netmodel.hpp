@@ -1,0 +1,73 @@
+// LogGP network timing model (Alexandrov et al., cited by the paper for
+// SIM-MPI's point-to-point simulation).
+//
+// The same model serves two roles: it is the "hardware" of the simulated
+// MPI engine (producing the measured ground-truth times), and it is the
+// model the replay-based predictor uses (paper §V, Figure 14). Collective
+// operations are decomposed into point-to-point trees, as the paper
+// describes for SIM-MPI.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "ir/ir.hpp"
+
+namespace cypress::simmpi {
+
+struct LogGP {
+  double latencyNs = 1500.0;     // L: wire latency
+  double overheadNs = 600.0;     // o: CPU send/recv overhead
+  double gapNs = 300.0;          // g: per-message gap
+  double perByteNs = 0.35;       // G: per-byte cost (~2.8 GB/s)
+
+  /// QDR-InfiniBand-like parameters (the paper's Explorer-100 fabric).
+  static LogGP infiniband() { return LogGP{}; }
+
+  /// Slower commodity-ethernet-like parameters (for what-if studies).
+  static LogGP ethernet() { return LogGP{25000.0, 2000.0, 1000.0, 0.9}; }
+
+  uint64_t sendOverhead(int64_t bytes) const {
+    return static_cast<uint64_t>(overheadNs + perByteNs * static_cast<double>(bytes));
+  }
+
+  /// Wire time from send posting to availability at the receiver.
+  uint64_t transferTime(int64_t bytes) const {
+    return static_cast<uint64_t>(latencyNs + overheadNs +
+                                 perByteNs * static_cast<double>(bytes));
+  }
+
+  uint64_t recvOverhead(int64_t /*bytes*/) const {
+    return static_cast<uint64_t>(overheadNs);
+  }
+
+  /// Cost of a collective once all participants have arrived, following
+  /// the standard tree/butterfly decompositions into p2p messages.
+  uint64_t collectiveCost(ir::MpiOp op, int64_t bytes, int participants) const {
+    const double p = static_cast<double>(participants < 2 ? 2 : participants);
+    const double logp = std::ceil(std::log2(p));
+    const double hop = latencyNs + 2.0 * overheadNs;
+    const double bz = static_cast<double>(bytes);
+    switch (op) {
+      case ir::MpiOp::Barrier:
+        return static_cast<uint64_t>(logp * hop);
+      case ir::MpiOp::Bcast:        // binomial tree
+      case ir::MpiOp::Reduce:       // mirror of bcast
+      case ir::MpiOp::Gather:       // binomial gather
+      case ir::MpiOp::Scatter:      // binomial scatter
+      case ir::MpiOp::Scan:         // up-down sweep
+        return static_cast<uint64_t>(logp * (hop + perByteNs * bz));
+      case ir::MpiOp::Allreduce:    // recursive doubling
+        return static_cast<uint64_t>(logp * (hop + perByteNs * bz) + hop);
+      case ir::MpiOp::Allgather:    // ring: (p-1) steps of own contribution
+        return static_cast<uint64_t>((p - 1.0) * (gapNs + perByteNs * bz) + hop);
+      case ir::MpiOp::Alltoall:     // pairwise exchange
+        return static_cast<uint64_t>((p - 1.0) *
+                                     (gapNs + perByteNs * bz + overheadNs) + hop);
+      default:
+        return static_cast<uint64_t>(hop);
+    }
+  }
+};
+
+}  // namespace cypress::simmpi

@@ -1,0 +1,153 @@
+// Compact binary serialization: ByteWriter / ByteReader with LEB128
+// varints and zigzag-encoded signed integers.
+//
+// All cypress on-disk formats (serialized CSTs, compressed trace trees,
+// raw traces, baseline formats) are built on these primitives so that
+// size accounting is consistent across tools.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace cypress {
+
+/// Append-only little-endian binary writer.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(uint8_t v) { buf_.push_back(v); }
+
+  void u32fixed(uint32_t v) {
+    for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  void u64fixed(uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+
+  /// Unsigned LEB128 varint.
+  void uv(uint64_t v) {
+    while (v >= 0x80) {
+      buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    buf_.push_back(static_cast<uint8_t>(v));
+  }
+
+  /// Zigzag-encoded signed varint.
+  void sv(int64_t v) {
+    uv((static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63));
+  }
+
+  /// IEEE double, fixed 8 bytes.
+  void f64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64fixed(bits);
+  }
+
+  /// Length-prefixed string.
+  void str(std::string_view s) {
+    uv(s.size());
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  /// Raw bytes without a length prefix.
+  void raw(std::span<const uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Sequential reader over a byte span; throws cypress::Error on underflow.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint8_t u8() {
+    need(1);
+    return data_[pos_++];
+  }
+
+  uint32_t u32fixed() {
+    need(4);
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  uint64_t u64fixed() {
+    need(8);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<uint64_t>(data_[pos_++]) << (8 * i);
+    return v;
+  }
+
+  uint64_t uv() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      need(1);
+      uint8_t b = data_[pos_++];
+      CYP_CHECK(shift < 64, "varint too long");
+      v |= static_cast<uint64_t>(b & 0x7F) << shift;
+      if (!(b & 0x80)) return v;
+      shift += 7;
+    }
+  }
+
+  int64_t sv() {
+    uint64_t z = uv();
+    return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+  }
+
+  double f64() {
+    uint64_t bits = u64fixed();
+    double v;
+    std::memcpy(&v, &bits, sizeof v);
+    return v;
+  }
+
+  std::string str() {
+    uint64_t n = uv();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::span<const uint8_t> raw(size_t n) {
+    need(n);
+    auto s = data_.subspan(pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  bool atEnd() const { return pos_ == data_.size(); }
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  void need(uint64_t n) const {
+    CYP_CHECK(pos_ + n <= data_.size(),
+              "buffer underflow: need " << n << " at " << pos_ << "/" << data_.size());
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace cypress

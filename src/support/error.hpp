@@ -1,0 +1,52 @@
+// Error handling primitives shared by every cypress module.
+//
+// The library reports programmer errors (broken invariants) via
+// CYP_CHECK, which throws cypress::Error. Recoverable conditions are
+// reported through return values; exceptions are reserved for bugs and
+// malformed external inputs (e.g. a corrupt serialized CTT).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace cypress {
+
+/// Exception type thrown on broken invariants and malformed inputs.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void failCheck(const char* cond, const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace cypress
+
+/// Always-on invariant check. `msg` is streamed, e.g.
+///   CYP_CHECK(n >= 0, "negative count " << n);
+#define CYP_CHECK(cond, msg)                                              \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream cyp_check_os_;                                   \
+      cyp_check_os_ << msg;                                               \
+      ::cypress::detail::failCheck(#cond, __FILE__, __LINE__,             \
+                                   cyp_check_os_.str());                  \
+    }                                                                     \
+  } while (0)
+
+/// Unconditional failure with message.
+#define CYP_FAIL(msg)                                                     \
+  do {                                                                    \
+    std::ostringstream cyp_check_os_;                                     \
+    cyp_check_os_ << msg;                                                 \
+    ::cypress::detail::failCheck("unreachable", __FILE__, __LINE__,       \
+                                 cyp_check_os_.str());                    \
+  } while (0)

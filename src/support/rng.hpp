@@ -1,0 +1,59 @@
+// Deterministic pseudo-random source (splitmix64 + xoshiro256**).
+//
+// Workload jitter (computation-time noise, non-deterministic completion
+// orders) and property-based tests must be reproducible bit-for-bit, so
+// everything random in the repository goes through this generator with an
+// explicit seed — never std::random_device or global state.
+#pragma once
+
+#include <cstdint>
+
+namespace cypress {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 seeding to spread low-entropy seeds.
+    uint64_t z = seed;
+    for (auto& s : s_) {
+      z += 0x9E3779B97F4A7C15ULL;
+      uint64_t t = z;
+      t = (t ^ (t >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      t = (t ^ (t >> 27)) * 0x94D049BB133111EBULL;
+      s = t ^ (t >> 31);
+    }
+  }
+
+  uint64_t next() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n).
+  uint64_t below(uint64_t n) { return n ? next() % n : 0; }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t s_[4];
+};
+
+}  // namespace cypress

@@ -1,0 +1,208 @@
+// SectionSeq: a lossless stride-run codec for integer sequences.
+//
+// This is the cypress analogue of ScalaTrace's regular section
+// descriptors: a sequence of int64 values is stored as segments
+// (start, stride, count), so the paper's <first, last, stride> tuples
+// (§IV-A, Figures 10–11) are represented exactly:
+//   - constant runs   <k, k, ..., k>        → (k, 0, n)
+//   - affine runs     <0, 1, 2, ..., k-1>   → (0, 1, k)
+// Loop vertices use it for per-activation iteration counts; branch
+// vertices use it for the iteration indices at which a path was taken.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bytebuf.hpp"
+
+namespace cypress {
+
+/// One maximal arithmetic run: values start, start+stride, ...,
+/// start+stride*(count-1).
+struct Section {
+  int64_t start = 0;
+  int64_t stride = 0;
+  uint64_t count = 0;
+
+  int64_t last() const {
+    return start + stride * static_cast<int64_t>(count - 1);
+  }
+  bool operator==(const Section&) const = default;
+};
+
+class SectionSeq {
+ public:
+  SectionSeq() = default;
+
+  /// Append one value, greedily extending the trailing section.
+  void append(int64_t v) {
+    if (!segs_.empty()) {
+      Section& s = segs_.back();
+      if (v == s.start + s.stride * static_cast<int64_t>(s.count)) {
+        ++s.count;
+        ++total_;
+        return;
+      }
+      if (s.count == 1) {  // a singleton can adopt any stride
+        s.stride = v - s.start;
+        s.count = 2;
+        ++total_;
+        return;
+      }
+    }
+    segs_.push_back(Section{v, 0, 1});
+    ++total_;
+  }
+
+  /// Append `count` copies of `v` (used when merging records).
+  void appendRun(int64_t v, uint64_t count) {
+    if (count == 0) return;
+    if (!segs_.empty()) {
+      Section& s = segs_.back();
+      if (s.stride == 0 && s.start == v) {
+        s.count += count;
+        total_ += count;
+        return;
+      }
+      if (s.count == 1 && count == 1) {
+        s.stride = v - s.start;
+        s.count = 2;
+        total_ += 1;
+        return;
+      }
+    }
+    if (count == 1) {
+      append(v);
+      return;
+    }
+    segs_.push_back(Section{v, 0, count});
+    total_ += count;
+  }
+
+  /// Append a whole section verbatim.
+  void appendSection(const Section& s) {
+    CYP_CHECK(s.count > 0, "empty section");
+    if (s.count == 1) {
+      append(s.start);
+      return;
+    }
+    if (s.stride == 0) {
+      appendRun(s.start, s.count);
+      return;
+    }
+    segs_.push_back(s);
+    total_ += s.count;
+  }
+
+  /// Number of logical values.
+  uint64_t size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  /// Number of stored sections (the compressed length).
+  size_t sectionCount() const { return segs_.size(); }
+  const std::vector<Section>& sections() const { return segs_; }
+
+  /// True when every value equals `v`.
+  bool isConstant(int64_t v) const {
+    for (const Section& s : segs_)
+      if (s.start != v || (s.stride != 0 && s.count > 1)) return false;
+    return true;
+  }
+
+  /// Logical value at index i (O(#sections) scan; use Cursor for walks).
+  int64_t at(uint64_t i) const {
+    CYP_CHECK(i < total_, "SectionSeq index " << i << " out of " << total_);
+    for (const Section& s : segs_) {
+      if (i < s.count) return s.start + s.stride * static_cast<int64_t>(i);
+      i -= s.count;
+    }
+    CYP_FAIL("unreachable");
+  }
+
+  /// Materialize all values (tests / small sequences only).
+  std::vector<int64_t> expand() const {
+    std::vector<int64_t> out;
+    out.reserve(total_);
+    for (const Section& s : segs_)
+      for (uint64_t k = 0; k < s.count; ++k)
+        out.push_back(s.start + s.stride * static_cast<int64_t>(k));
+    return out;
+  }
+
+  /// Sequential O(1)-per-step reader.
+  class Cursor {
+   public:
+    explicit Cursor(const SectionSeq& seq) : seq_(&seq) {}
+
+    bool done() const { return seg_ >= seq_->segs_.size(); }
+
+    int64_t next() {
+      CYP_CHECK(!done(), "SectionSeq cursor exhausted");
+      const Section& s = seq_->segs_[seg_];
+      int64_t v = s.start + s.stride * static_cast<int64_t>(off_);
+      if (++off_ == s.count) {
+        ++seg_;
+        off_ = 0;
+      }
+      return v;
+    }
+
+    /// Value next() would return, without consuming it.
+    int64_t peek() const {
+      CYP_CHECK(!done(), "SectionSeq cursor exhausted");
+      const Section& s = seq_->segs_[seg_];
+      return s.start + s.stride * static_cast<int64_t>(off_);
+    }
+
+   private:
+    const SectionSeq* seq_;
+    size_t seg_ = 0;
+    uint64_t off_ = 0;
+  };
+
+  Cursor cursor() const { return Cursor(*this); }
+
+  bool operator==(const SectionSeq&) const = default;
+
+  /// Sequences are mergeable (identical logical content) iff equal; the
+  /// greedy construction is canonical for a given input sequence.
+  void serialize(ByteWriter& w) const {
+    w.uv(segs_.size());
+    for (const Section& s : segs_) {
+      w.sv(s.start);
+      w.sv(s.stride);
+      w.uv(s.count);
+    }
+  }
+
+  static SectionSeq deserialize(ByteReader& r) {
+    SectionSeq q;
+    uint64_t n = r.uv();
+    q.segs_.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      Section s;
+      s.start = r.sv();
+      s.stride = r.sv();
+      s.count = r.uv();
+      CYP_CHECK(s.count > 0, "empty serialized section");
+      q.segs_.push_back(s);
+      q.total_ += s.count;
+    }
+    return q;
+  }
+
+  /// In-memory footprint, for the memory-overhead experiments.
+  size_t memoryBytes() const { return sizeof(*this) + segs_.capacity() * sizeof(Section); }
+
+  static SectionSeq compress(const std::vector<int64_t>& values) {
+    SectionSeq q;
+    for (int64_t v : values) q.append(v);
+    return q;
+  }
+
+ private:
+  std::vector<Section> segs_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace cypress

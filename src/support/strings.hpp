@@ -1,0 +1,47 @@
+// Small string/formatting helpers shared by tools, benches and tests.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace cypress {
+
+/// "12.3 KB" style size formatting (KB = 1024 bytes, as in the paper's
+/// figures).
+inline std::string humanBytes(uint64_t bytes) {
+  char buf[64];
+  const double kb = static_cast<double>(bytes) / 1024.0;
+  if (bytes < 1024) {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(bytes));
+  } else if (kb < 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.1f KB", kb);
+  } else if (kb < 1024.0 * 1024.0) {
+    std::snprintf(buf, sizeof buf, "%.1f MB", kb / 1024.0);
+  } else {
+    std::snprintf(buf, sizeof buf, "%.2f GB", kb / (1024.0 * 1024.0));
+  }
+  return buf;
+}
+
+inline std::string formatDouble(double v, int prec = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+/// Split on a single character (no empty-trailing suppression).
+inline std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+}  // namespace cypress

@@ -1,0 +1,82 @@
+#include "trace/event.hpp"
+
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace cypress::trace {
+
+std::string Event::toString() const {
+  std::ostringstream os;
+  os << ir::mpiOpName(op);
+  if (peer != kNoPeer) os << " peer=" << peer;
+  if (bytes) os << " bytes=" << bytes;
+  if (tag >= 0) os << " tag=" << tag;
+  os << " comm=" << comm << " site=" << callSiteId;
+  if (reqId >= 0) os << " req=" << reqId;
+  if (matchedSource >= 0) os << " matched=" << matchedSource;
+  return os.str();
+}
+
+void serializeEvent(const Event& e, ByteWriter& w) {
+  w.u8(static_cast<uint8_t>(e.op));
+  w.sv(e.peer);
+  w.sv(e.bytes);
+  w.sv(e.tag);
+  w.sv(e.comm);
+  w.sv(e.callSiteId);
+  w.sv(e.reqId);
+  w.sv(e.matchedSource);
+  w.uv(e.computeNs);
+  w.uv(e.durationNs);
+}
+
+Event deserializeEvent(ByteReader& r) {
+  Event e;
+  e.op = static_cast<ir::MpiOp>(r.u8());
+  e.peer = static_cast<int32_t>(r.sv());
+  e.bytes = r.sv();
+  e.tag = static_cast<int32_t>(r.sv());
+  e.comm = static_cast<int32_t>(r.sv());
+  e.callSiteId = static_cast<int32_t>(r.sv());
+  e.reqId = r.sv();
+  e.matchedSource = static_cast<int32_t>(r.sv());
+  e.computeNs = r.uv();
+  e.durationNs = r.uv();
+  return e;
+}
+
+size_t RawTrace::totalEvents() const {
+  size_t n = 0;
+  for (const auto& r : ranks) n += r.events.size();
+  return n;
+}
+
+std::vector<uint8_t> RawTrace::serialize() const {
+  ByteWriter w;
+  w.str("CYTR");
+  w.uv(ranks.size());
+  for (const auto& r : ranks) {
+    w.sv(r.rank);
+    w.uv(r.events.size());
+    for (const Event& e : r.events) serializeEvent(e, w);
+  }
+  return w.take();
+}
+
+RawTrace RawTrace::deserialize(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  CYP_CHECK(r.str() == "CYTR", "raw trace: bad magic");
+  RawTrace t;
+  const uint64_t n = r.uv();
+  t.ranks.resize(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    t.ranks[i].rank = static_cast<int32_t>(r.sv());
+    const uint64_t ne = r.uv();
+    t.ranks[i].events.reserve(ne);
+    for (uint64_t k = 0; k < ne; ++k) t.ranks[i].events.push_back(deserializeEvent(r));
+  }
+  return t;
+}
+
+}  // namespace cypress::trace

@@ -1,0 +1,68 @@
+// Canonical communication-trace event records.
+//
+// One Event is what the PMPI layer observes for one MPI call on one
+// rank. The raw (uncompressed) per-rank event sequence is the ground
+// truth every compressor in this repository is measured against: the
+// "Gzip" baseline compresses its serialized bytes, ScalaTrace and
+// CYPRESS compress its structure, and decompression must reproduce it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "support/bytebuf.hpp"
+
+namespace cypress::trace {
+
+/// Sentinel peer values.
+constexpr int32_t kNoPeer = -2;
+constexpr int32_t kAnySource = -1;
+
+struct Event {
+  ir::MpiOp op = ir::MpiOp::Barrier;
+  int32_t peer = kNoPeer;      // dst (sends), src (recvs), root (rooted colls)
+  int64_t bytes = 0;           // message / contribution size
+  int32_t tag = -1;            // p2p tag
+  int32_t comm = 0;            // communicator id (0 = WORLD)
+  int32_t callSiteId = -1;     // static call site (module-unique)
+  int64_t reqId = -1;          // request created (Isend/Irecv) / completed (Wait*)
+  int32_t matchedSource = -1;  // wildcard recvs: actual source on completion
+  uint64_t computeNs = 0;      // local computation since the previous event
+  uint64_t durationNs = 0;     // time spent inside the operation
+
+  /// Equality of the *communication content* (everything except timing).
+  bool sameComm(const Event& o) const {
+    return op == o.op && peer == o.peer && bytes == o.bytes && tag == o.tag &&
+           comm == o.comm && callSiteId == o.callSiteId && reqId == o.reqId &&
+           matchedSource == o.matchedSource;
+  }
+
+  bool operator==(const Event&) const = default;
+
+  std::string toString() const;
+};
+
+/// Serialize one event (varint-packed).
+void serializeEvent(const Event& e, ByteWriter& w);
+Event deserializeEvent(ByteReader& r);
+
+/// A raw per-rank trace.
+struct RankTrace {
+  int32_t rank = 0;
+  std::vector<Event> events;
+};
+
+/// Whole-program raw trace with serialization. The serialized form is
+/// the input to the Gzip baseline and the unit of "uncompressed size".
+struct RawTrace {
+  std::vector<RankTrace> ranks;
+
+  size_t totalEvents() const;
+  std::vector<uint8_t> serialize() const;
+  static RawTrace deserialize(std::span<const uint8_t> data);
+  size_t serializedBytes() const { return serialize().size(); }
+};
+
+}  // namespace cypress::trace

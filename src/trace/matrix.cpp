@@ -1,0 +1,63 @@
+#include "trace/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace cypress::trace {
+
+std::vector<std::vector<uint64_t>> commMatrix(const RawTrace& t) {
+  const size_t n = t.ranks.size();
+  std::vector<std::vector<uint64_t>> m(n, std::vector<uint64_t>(n, 0));
+  for (const RankTrace& r : t.ranks) {
+    for (const Event& e : r.events) {
+      if (e.op == ir::MpiOp::Send || e.op == ir::MpiOp::Isend) {
+        CYP_CHECK(e.peer >= 0 && static_cast<size_t>(e.peer) < n,
+                  "comm matrix: bad destination " << e.peer);
+        m[static_cast<size_t>(r.rank)][static_cast<size_t>(e.peer)] +=
+            static_cast<uint64_t>(e.bytes);
+      }
+    }
+  }
+  return m;
+}
+
+std::string renderMatrix(const std::vector<std::vector<uint64_t>>& m, int maxCells) {
+  const size_t n = m.size();
+  if (n == 0) return "";
+  const size_t cells = std::min<size_t>(n, static_cast<size_t>(maxCells));
+  const size_t stride = (n + cells - 1) / cells;
+
+  // Aggregate into buckets.
+  std::vector<std::vector<uint64_t>> agg(cells, std::vector<uint64_t>(cells, 0));
+  uint64_t maxV = 0;
+  for (size_t i = 0; i < n; ++i)
+    for (size_t j = 0; j < n; ++j) {
+      auto& cell = agg[i / stride][j / stride];
+      cell += m[i][j];
+      maxV = std::max(maxV, cell);
+    }
+
+  static const char glyphs[] = " .:-=+*#%@";
+  std::ostringstream os;
+  os << "receiver ->\n";
+  for (size_t i = 0; i < cells; ++i) {
+    for (size_t j = 0; j < cells; ++j) {
+      const uint64_t v = agg[i][j];
+      int g = 0;
+      if (v > 0 && maxV > 0) {
+        const double frac =
+            std::log1p(static_cast<double>(v)) / std::log1p(static_cast<double>(maxV));
+        g = 1 + static_cast<int>(frac * 8.0);
+        g = std::min(g, 9);
+      }
+      os << glyphs[g];
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cypress::trace

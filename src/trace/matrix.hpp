@@ -1,0 +1,21 @@
+// Communication-volume matrices (paper Figures 17 and 20): bytes sent
+// between every (sender, receiver) pair, extracted from a raw trace.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/event.hpp"
+
+namespace cypress::trace {
+
+/// matrix[src][dst] = point-to-point bytes sent from src to dst.
+std::vector<std::vector<uint64_t>> commMatrix(const RawTrace& t);
+
+/// Render a coarse ASCII heat map of the matrix (log-scaled glyphs),
+/// sampled down to at most `maxCells` rows/columns.
+std::string renderMatrix(const std::vector<std::vector<uint64_t>>& m,
+                         int maxCells = 32);
+
+}  // namespace cypress::trace

@@ -1,0 +1,97 @@
+// The PMPI-layer observer interface.
+//
+// The simulated MPI engine and the per-rank VM invoke these hooks as a
+// rank executes — exactly the information the paper's customized PMPI
+// library receives: every MPI call with its parameters, plus the
+// instrumented structure markers (PMPI_COMM_Structure enter/exit) and
+// user-function entries that let CYPRESS track its position in the CST.
+//
+// A tracer/compressor implements this interface once per rank. Raw
+// tracing, ScalaTrace and CYPRESS are all observers, so every tool sees
+// the identical event stream.
+#pragma once
+
+#include <string>
+
+#include "trace/event.hpp"
+
+namespace cypress::trace {
+
+class Observer {
+ public:
+  virtual ~Observer() = default;
+
+  /// An MPI operation was executed (blocking ops: after completion;
+  /// non-blocking starts: at posting; waits: after completion).
+  virtual void onEvent(const Event& e) = 0;
+
+  /// Instrumented structure markers (loops and branch paths).
+  virtual void onStructEnter(int structId, int pathIndex) = 0;
+  virtual void onStructExit(int structId) = 0;
+
+  /// User-defined function call boundaries (the dynamic counterpart of
+  /// the CST's inlined call instances).
+  virtual void onCallEnter(int callInstrId, const std::string& callee) = 0;
+  virtual void onCallExit(const std::string& callee) = 0;
+
+  /// The rank finished executing (MPI_Finalize).
+  virtual void onFinalize() = 0;
+};
+
+/// Observer that ignores everything (tracing disabled baseline).
+class NullObserver final : public Observer {
+ public:
+  void onEvent(const Event&) override {}
+  void onStructEnter(int, int) override {}
+  void onStructExit(int) override {}
+  void onCallEnter(int, const std::string&) override {}
+  void onCallExit(const std::string&) override {}
+  void onFinalize() override {}
+};
+
+/// Observer that appends raw events to a RankTrace (the uncompressed
+/// baseline tracer).
+class RawRecorder final : public Observer {
+ public:
+  explicit RawRecorder(RankTrace& out) : out_(out) {}
+  void onEvent(const Event& e) override { out_.events.push_back(e); }
+  void onStructEnter(int, int) override {}
+  void onStructExit(int) override {}
+  void onCallEnter(int, const std::string&) override {}
+  void onCallExit(const std::string&) override {}
+  void onFinalize() override {}
+
+ private:
+  RankTrace& out_;
+};
+
+/// Fan-out observer: forwards every hook to several observers, so one
+/// run can feed multiple tools at once (each is still charged its own
+/// per-hook CPU time by the driver).
+class TeeObserver final : public Observer {
+ public:
+  void add(Observer* o) { sinks_.push_back(o); }
+  void onEvent(const Event& e) override {
+    for (auto* o : sinks_) o->onEvent(e);
+  }
+  void onStructEnter(int structId, int pathIndex) override {
+    for (auto* o : sinks_) o->onStructEnter(structId, pathIndex);
+  }
+  void onStructExit(int structId) override {
+    for (auto* o : sinks_) o->onStructExit(structId);
+  }
+  void onCallEnter(int callInstrId, const std::string& callee) override {
+    for (auto* o : sinks_) o->onCallEnter(callInstrId, callee);
+  }
+  void onCallExit(const std::string& callee) override {
+    for (auto* o : sinks_) o->onCallExit(callee);
+  }
+  void onFinalize() override {
+    for (auto* o : sinks_) o->onFinalize();
+  }
+
+ private:
+  std::vector<Observer*> sinks_;
+};
+
+}  // namespace cypress::trace

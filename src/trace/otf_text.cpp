@@ -1,0 +1,129 @@
+#include "trace/otf_text.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "support/error.hpp"
+#include "support/strings.hpp"
+
+namespace cypress::trace {
+
+namespace {
+
+const char* opToken(ir::MpiOp op) {
+  switch (op) {
+    case ir::MpiOp::Send: return "SEND";
+    case ir::MpiOp::Recv: return "RECV";
+    case ir::MpiOp::Isend: return "ISEND";
+    case ir::MpiOp::Irecv: return "IRECV";
+    case ir::MpiOp::Wait: return "WAIT";
+    case ir::MpiOp::Waitall: return "WAITALL";
+    case ir::MpiOp::Waitany: return "WAITANY";
+    case ir::MpiOp::Waitsome: return "WAITSOME";
+    case ir::MpiOp::Barrier: return "BARRIER";
+    case ir::MpiOp::Bcast: return "BCAST";
+    case ir::MpiOp::Reduce: return "REDUCE";
+    case ir::MpiOp::Allreduce: return "ALLREDUCE";
+    case ir::MpiOp::Allgather: return "ALLGATHER";
+    case ir::MpiOp::Alltoall: return "ALLTOALL";
+    case ir::MpiOp::Gather: return "GATHER";
+    case ir::MpiOp::Scatter: return "SCATTER";
+    case ir::MpiOp::Scan: return "SCAN";
+    case ir::MpiOp::CommSplit: return "COMMSPLIT";
+  }
+  return "?";
+}
+
+bool opFromToken(const std::string& s, ir::MpiOp* out) {
+  static const std::pair<const char*, ir::MpiOp> table[] = {
+      {"SEND", ir::MpiOp::Send},           {"RECV", ir::MpiOp::Recv},
+      {"ISEND", ir::MpiOp::Isend},         {"IRECV", ir::MpiOp::Irecv},
+      {"WAIT", ir::MpiOp::Wait},           {"WAITALL", ir::MpiOp::Waitall},
+      {"WAITANY", ir::MpiOp::Waitany},     {"WAITSOME", ir::MpiOp::Waitsome},
+      {"BARRIER", ir::MpiOp::Barrier},     {"BCAST", ir::MpiOp::Bcast},
+      {"REDUCE", ir::MpiOp::Reduce},       {"ALLREDUCE", ir::MpiOp::Allreduce},
+      {"ALLGATHER", ir::MpiOp::Allgather}, {"ALLTOALL", ir::MpiOp::Alltoall},
+      {"GATHER", ir::MpiOp::Gather},       {"SCATTER", ir::MpiOp::Scatter},
+      {"SCAN", ir::MpiOp::Scan},           {"COMMSPLIT", ir::MpiOp::CommSplit},
+  };
+  for (const auto& [tok, op] : table) {
+    if (s == tok) {
+      *out = op;
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string toOtfText(const RawTrace& t) {
+  std::string out;
+  out += "OTFX 1\n";
+  char buf[256];
+  for (const RankTrace& r : t.ranks) {
+    std::snprintf(buf, sizeof buf, "RANK %d %zu\n", r.rank, r.events.size());
+    out += buf;
+    for (const Event& e : r.events) {
+      std::snprintf(buf, sizeof buf,
+                    "E %s peer=%d bytes=%" PRId64
+                    " tag=%d comm=%d site=%d req=%" PRId64
+                    " match=%d compute=%" PRIu64 " dur=%" PRIu64 "\n",
+                    opToken(e.op), e.peer, e.bytes, e.tag, e.comm, e.callSiteId,
+                    e.reqId, e.matchedSource, e.computeNs, e.durationNs);
+      out += buf;
+    }
+  }
+  return out;
+}
+
+RawTrace fromOtfText(const std::string& text) {
+  RawTrace t;
+  const auto lines = split(text, '\n');
+  size_t ln = 0;
+  auto fail = [&](const std::string& msg) -> void {
+    throw Error("otf:" + std::to_string(ln + 1) + ": " + msg);
+  };
+  if (lines.empty() || lines[0] != "OTFX 1") fail("bad header");
+  RankTrace* cur = nullptr;
+  for (ln = 1; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    if (line.empty()) continue;
+    if (line.rfind("RANK ", 0) == 0) {
+      int rank = 0;
+      size_t count = 0;
+      if (std::sscanf(line.c_str(), "RANK %d %zu", &rank, &count) != 2)
+        fail("bad RANK line");
+      t.ranks.push_back(RankTrace{rank, {}});
+      cur = &t.ranks.back();
+      cur->events.reserve(count);
+      continue;
+    }
+    if (line.rfind("E ", 0) == 0) {
+      if (cur == nullptr) fail("event before any RANK line");
+      char opTok[32];
+      Event e;
+      long long bytes = 0, req = 0;
+      unsigned long long comp = 0, dur = 0;
+      const int got = std::sscanf(
+          line.c_str(),
+          "E %31s peer=%d bytes=%lld tag=%d comm=%d site=%d req=%lld "
+          "match=%d compute=%llu dur=%llu",
+          opTok, &e.peer, &bytes, &e.tag, &e.comm, &e.callSiteId, &req,
+          &e.matchedSource, &comp, &dur);
+      if (got != 10) fail("bad event line");
+      if (!opFromToken(opTok, &e.op)) fail(std::string("unknown op ") + opTok);
+      e.bytes = bytes;
+      e.reqId = req;
+      e.computeNs = comp;
+      e.durationNs = dur;
+      cur->events.push_back(e);
+      continue;
+    }
+    fail("unrecognized line '" + line + "'");
+  }
+  return t;
+}
+
+}  // namespace cypress::trace

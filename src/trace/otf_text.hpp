@@ -1,0 +1,23 @@
+// OTF-style line-oriented text trace format.
+//
+// The paper's Gzip baseline is the compression used by the Open Trace
+// Format library [26]: a human-readable per-event record stream with a
+// general-purpose codec on top. This module provides that interchange
+// format: one line per event, ordered by rank, fully lossless, and easy
+// to diff/grep. Pair with flate for the "OTF+zlib"-style byte counts.
+#pragma once
+
+#include <string>
+
+#include "trace/event.hpp"
+
+namespace cypress::trace {
+
+/// Render a whole trace as OTF-style text.
+std::string toOtfText(const RawTrace& t);
+
+/// Parse text produced by toOtfText. Throws cypress::Error with a line
+/// number on malformed input.
+RawTrace fromOtfText(const std::string& text);
+
+}  // namespace cypress::trace

@@ -1,0 +1,73 @@
+#include "trace/stats.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/strings.hpp"
+
+namespace cypress::trace {
+
+TraceStats computeStats(const RawTrace& t) {
+  TraceStats s;
+  uint64_t minE = UINT64_MAX, maxE = 0, sumE = 0;
+  for (const RankTrace& r : t.ranks) {
+    minE = std::min(minE, static_cast<uint64_t>(r.events.size()));
+    maxE = std::max(maxE, static_cast<uint64_t>(r.events.size()));
+    sumE += r.events.size();
+    for (const Event& e : r.events) {
+      ++s.totalEvents;
+      OpStats& op = s.byOp[e.op];
+      ++op.count;
+      op.durationNs += e.durationNs;
+      s.computeNs += e.computeNs;
+      s.commNs += e.durationNs;
+      if (e.op == ir::MpiOp::Send || e.op == ir::MpiOp::Isend) {
+        ++s.p2pMessages;
+        s.p2pBytes += static_cast<uint64_t>(e.bytes);
+        op.bytes += static_cast<uint64_t>(e.bytes);
+        s.messageSizes[e.bytes]++;
+      } else if (ir::isCollective(e.op)) {
+        ++s.collectiveCalls;
+        op.bytes += static_cast<uint64_t>(e.bytes);
+      }
+    }
+  }
+  if (!t.ranks.empty()) {
+    s.minRankEvents = minE == UINT64_MAX ? 0 : minE;
+    s.maxRankEvents = maxE;
+    s.avgRankEvents = static_cast<double>(sumE) / static_cast<double>(t.ranks.size());
+  }
+  return s;
+}
+
+std::string TraceStats::toString() const {
+  std::ostringstream os;
+  os << totalEvents << " events; " << p2pMessages << " p2p messages ("
+     << humanBytes(p2pBytes) << "); " << collectiveCalls << " collective calls\n";
+  os << "events per rank: min " << minRankEvents << ", avg "
+     << formatDouble(avgRankEvents, 1) << ", max " << maxRankEvents << "\n";
+  const double total = static_cast<double>(computeNs + commNs);
+  if (total > 0) {
+    os << "time split: " << formatDouble(100.0 * commNs / total, 1)
+       << "% communication, " << formatDouble(100.0 * computeNs / total, 1)
+       << "% computation\n";
+  }
+  os << "by operation:\n";
+  for (const auto& [op, st] : byOp) {
+    os << "  " << ir::mpiOpName(op) << ": " << st.count;
+    if (st.bytes) os << " (" << humanBytes(st.bytes) << ")";
+    os << "\n";
+  }
+  if (!messageSizes.empty()) {
+    os << messageSizes.size() << " distinct p2p message sizes";
+    if (messageSizes.size() <= 6) {
+      os << ":";
+      for (const auto& [sz, n] : messageSizes)
+        os << " " << humanBytes(static_cast<uint64_t>(sz)) << "x" << n;
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cypress::trace

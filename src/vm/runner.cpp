@@ -1,0 +1,61 @@
+#include "vm/runner.hpp"
+
+#include <memory>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace cypress::vm {
+
+RunResult run(const ir::Module& m, simmpi::Engine& engine,
+              const std::vector<trace::Observer*>& observers,
+              uint64_t instructionLimitPerRank) {
+  const int numRanks = engine.numRanks();
+  CYP_CHECK(static_cast<int>(observers.size()) == numRanks,
+            "observers size " << observers.size() << " != ranks " << numRanks);
+
+  std::vector<std::unique_ptr<RankVM>> vms;
+  vms.reserve(static_cast<size_t>(numRanks));
+  for (int r = 0; r < numRanks; ++r) {
+    vms.push_back(std::make_unique<RankVM>(m, r, engine,
+                                           observers[static_cast<size_t>(r)]));
+    vms.back()->setInstructionLimit(instructionLimitPerRank);
+  }
+
+  int finished = 0;
+  engine.takeProgressFlag();  // reset
+  while (finished < numRanks) {
+    bool sweepProgress = false;
+    for (auto& vmp : vms) {
+      if (vmp->finished()) continue;
+      const uint64_t before = vmp->instructionsExecuted();
+      const StepResult r = vmp->step();
+      if (r == StepResult::Finished) {
+        ++finished;
+        sweepProgress = true;
+      } else if (vmp->instructionsExecuted() != before) {
+        sweepProgress = true;
+      }
+    }
+    if (!sweepProgress && !engine.takeProgressFlag() && finished < numRanks) {
+      std::ostringstream os;
+      os << "deadlock: no rank can make progress\n";
+      for (int r = 0; r < numRanks; ++r) {
+        if (!vms[static_cast<size_t>(r)]->finished())
+          os << "  " << engine.pendingDescription(r) << "\n";
+      }
+      throw Error(os.str());
+    }
+  }
+
+  RunResult out;
+  out.executionNs = engine.executionTimeNs();
+  for (int r = 0; r < numRanks; ++r) {
+    out.totalInstructions += vms[static_cast<size_t>(r)]->instructionsExecuted();
+    out.rankCommNs.push_back(engine.commTimeNs(r));
+    out.rankClockNs.push_back(engine.clockNs(r));
+  }
+  return out;
+}
+
+}  // namespace cypress::vm

@@ -1,0 +1,28 @@
+// Deterministic round-robin scheduler over per-rank VMs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "simmpi/engine.hpp"
+#include "trace/observer.hpp"
+#include "vm/vm.hpp"
+
+namespace cypress::vm {
+
+struct RunResult {
+  uint64_t executionNs = 0;           // measured program time (max rank clock)
+  uint64_t totalInstructions = 0;
+  std::vector<uint64_t> rankCommNs;   // per-rank time inside MPI ops
+  std::vector<uint64_t> rankClockNs;  // per-rank final clock
+};
+
+/// Execute one program on `engine` with one observer per rank (entries
+/// may be null). Throws cypress::Error on deadlock, with a dump of every
+/// blocked rank's pending operation.
+RunResult run(const ir::Module& m, simmpi::Engine& engine,
+              const std::vector<trace::Observer*>& observers,
+              uint64_t instructionLimitPerRank = 1ull << 40);
+
+}  // namespace cypress::vm

@@ -1,0 +1,66 @@
+// Resumable per-rank interpreter for the cypress IR.
+//
+// Each simulated MPI process is one RankVM. step() executes instructions
+// until the rank blocks inside the simulated MPI engine or the program
+// finishes; a round-robin scheduler (see runner.hpp) interleaves ranks.
+// The VM emits the PMPI observer hooks: structure markers inserted by
+// the CST instrumentation pass, user-function call boundaries, and MPI
+// events (via the engine).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ir/ir.hpp"
+#include "simmpi/engine.hpp"
+#include "trace/observer.hpp"
+
+namespace cypress::vm {
+
+enum class StepResult : uint8_t { Blocked, Finished };
+
+class RankVM {
+ public:
+  /// `observer` may be null (no tracing). The module must outlive the VM.
+  RankVM(const ir::Module& m, int rank, simmpi::Engine& engine,
+         trace::Observer* observer);
+
+  /// Run until the rank blocks or finishes. Each call makes progress
+  /// (completing a blocked op counts); calling after Finished is an error.
+  StepResult step();
+
+  bool finished() const { return finished_; }
+  int rank() const { return rank_; }
+  uint64_t instructionsExecuted() const { return instructions_; }
+
+  /// Abort guard: throw if a rank executes more than this many
+  /// instructions (runaway-loop detection in tests and benches).
+  void setInstructionLimit(uint64_t limit) { instructionLimit_ = limit; }
+
+ private:
+  struct Frame {
+    const ir::Function* fn = nullptr;
+    int block = 0;
+    size_t instr = 0;
+    std::vector<int64_t> vars;
+  };
+
+  const ir::Instr* currentInstr() const;
+  bool executeInstr(const ir::Instr& i);  // false when the rank blocked
+  void executeTerminator();
+  void pushFrame(const ir::Function* fn, std::vector<int64_t> args);
+  void popFrame();
+  int64_t eval(const ir::Expr& e) const;
+
+  const ir::Module& module_;
+  int rank_;
+  simmpi::Engine& engine_;
+  trace::Observer* observer_;
+  std::vector<Frame> frames_;
+  bool waitingOnEngine_ = false;
+  bool finished_ = false;
+  uint64_t instructions_ = 0;
+  uint64_t instructionLimit_ = 1ull << 40;
+};
+
+}  // namespace cypress::vm

@@ -1,0 +1,577 @@
+#include "workloads/workloads.hpp"
+
+#include <cmath>
+#include <map>
+
+#include "support/error.hpp"
+
+namespace cypress::workloads {
+
+namespace {
+
+/// Replace $NAME$ placeholders with integer values.
+std::string subst(std::string src,
+                  const std::map<std::string, long long>& values) {
+  for (const auto& [key, value] : values) {
+    const std::string token = "$" + key + "$";
+    size_t pos;
+    while ((pos = src.find(token)) != std::string::npos)
+      src.replace(pos, token.size(), std::to_string(value));
+  }
+  CYP_CHECK(src.find('$') == std::string::npos,
+            "workload template has unresolved placeholders");
+  return src;
+}
+
+bool isSquare(int p) {
+  const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
+  return q * q == p;
+}
+
+bool isPow2(int p) { return p > 0 && (p & (p - 1)) == 0; }
+
+int intSqrt(int p) {
+  return static_cast<int>(std::lround(std::sqrt(static_cast<double>(p))));
+}
+
+int ilog2(int p) {
+  int l = 0;
+  while ((1 << l) < p) ++l;
+  return l;
+}
+
+/// Balanced 3D factorization a <= b <= c with a*b*c == p.
+void factor3(int p, int* a, int* b, int* c) {
+  int bestA = 1, bestB = 1, bestC = p;
+  double bestSpread = 1e30;
+  for (int x = 1; x * x * x <= p; ++x) {
+    if (p % x) continue;
+    const int rest = p / x;
+    for (int y = x; y * y <= rest; ++y) {
+      if (rest % y) continue;
+      const int z = rest / y;
+      const double spread = static_cast<double>(z) / x;
+      if (spread < bestSpread) {
+        bestSpread = spread;
+        bestA = x;
+        bestB = y;
+        bestC = z;
+      }
+    }
+  }
+  *a = bestA;
+  *b = bestB;
+  *c = bestC;
+}
+
+// --------------------------------------------------------------------
+// BT: square process grid, face exchanges + pipelined line solves.
+
+std::string btSource(int procs, int scale) {
+  CYP_CHECK(isSquare(procs), "BT requires a square process count, got " << procs);
+  const int q = intSqrt(procs);
+  const long long face = std::max(2048LL, 40000000LL / (procs * 16));
+  const long long line = std::max(1024LL, face / 4);
+  return subst(R"(
+// BT communication skeleton: multi-partition square grid.
+func line_solve(prev, next, first, last, bytes, tag) {
+  // forward substitution along the line
+  if (first == 0) { mpi_recv(prev, bytes, tag); }
+  compute(60000);
+  if (last == 0)  { mpi_send(next, bytes, tag); }
+  // backward substitution
+  if (last == 0)  { mpi_recv(next, bytes, tag + 1); }
+  compute(60000);
+  if (first == 0) { mpi_send(prev, bytes, tag + 1); }
+}
+
+func main() {
+  var q = $Q$;
+  var row = rank / q;
+  var col = rank % q;
+  for (var step = 0; step < $NITER$; step = step + 1) {
+    // copy_faces: non-blocking exchange with the four torus neighbours
+    var e = row * q + (col + 1) % q;
+    var w = row * q + (col + q - 1) % q;
+    var s = ((row + 1) % q) * q + col;
+    var n = ((row + q - 1) % q) * q + col;
+    var r1 = mpi_isend(e, $FACE$, 1);
+    var r2 = mpi_isend(w, $FACE$, 2);
+    var r3 = mpi_isend(s, $FACE$, 3);
+    var r4 = mpi_isend(n, $FACE$, 4);
+    var r5 = mpi_irecv(w, $FACE$, 1);
+    var r6 = mpi_irecv(e, $FACE$, 2);
+    var r7 = mpi_irecv(n, $FACE$, 3);
+    var r8 = mpi_irecv(s, $FACE$, 4);
+    mpi_waitall();
+    compute(250000);
+    // x / y / z solves: pipelines along rows and columns
+    line_solve(rank - 1, rank + 1, col == 0, col == q - 1, $LINE$, 10);
+    line_solve(rank - q, rank + q, row == 0, row == q - 1, $LINE$, 20);
+    line_solve(rank - q, rank + q, row == 0, row == q - 1, $LINE$, 30);
+  }
+  mpi_allreduce(40);
+})",
+               {{"Q", q},
+                {"NITER", 20LL * scale},
+                {"FACE", face},
+                {"LINE", line}});
+}
+
+// --------------------------------------------------------------------
+// CG: butterfly reductions within process rows + transpose exchange.
+
+std::string cgSource(int procs, int scale) {
+  CYP_CHECK(isPow2(procs), "CG requires a power-of-two process count, got " << procs);
+  const int k = ilog2(procs);
+  const int npcols = 1 << ((k + 1) / 2);
+  const int nprows = procs / npcols;
+  const long long vec = std::max(1024LL, 1200000LL / npcols);
+  return subst(R"(
+// CG communication skeleton: 2D layout, row butterflies + transpose.
+func butterfly(mecol, rowbase, stages, bytes, tagbase) {
+  var s = 1;
+  for (var i = 0; i < stages; i = i + 1) {
+    var pcol = mecol - s;
+    if ((mecol / s) % 2 == 0) { pcol = mecol + s; }
+    mpi_send(rowbase + pcol, bytes, tagbase + i);
+    mpi_recv(rowbase + pcol, bytes, tagbase + i);
+    s = s * 2;
+  }
+}
+
+func main() {
+  var npcols = $NPCOLS$;
+  var nprows = $NPROWS$;
+  var mecol = rank % npcols;
+  var merow = rank / npcols;
+  var rowbase = merow * npcols;
+  var l2npcols = $L2NPCOLS$;
+  var transpose = mecol * nprows + merow;
+  if (npcols != nprows) { transpose = (rank + size / 2) % size; }
+  for (var it = 0; it < $NITER$; it = it + 1) {
+    for (var cgit = 0; cgit < 25; cgit = cgit + 1) {
+      // rho = r.r partial sums across the row
+      butterfly(mecol, rowbase, l2npcols, 16, 20);
+      // q = A.p exchange with the transpose partner
+      if (transpose != rank) {
+        mpi_send(transpose, $VEC$, 50);
+        mpi_recv(transpose, $VEC$, 50);
+      }
+      // partial vector reductions back across the row
+      butterfly(mecol, rowbase, l2npcols, $VEC$, 60);
+      compute(120000);
+    }
+    // residual norm
+    butterfly(mecol, rowbase, l2npcols, 16, 90);
+  }
+})",
+               {{"NPCOLS", npcols},
+                {"NPROWS", nprows},
+                {"L2NPCOLS", ilog2(npcols)},
+                {"VEC", vec},
+                {"NITER", 3LL * scale}});
+}
+
+// --------------------------------------------------------------------
+// DT: quadtree-ish data-flow graph, few large messages.
+
+std::string dtSource(int procs, int scale) {
+  (void)procs;
+  const long long bytes = 2000000LL * scale;
+  return subst(R"(
+// DT communication skeleton: reduction tree from leaves to rank 0.
+func main() {
+  var left = rank * 2 + 1;
+  var right = rank * 2 + 2;
+  if (left < size)  { mpi_recv(left, $BYTES$, 0); }
+  if (right < size) { mpi_recv(right, $BYTES$, 0); }
+  compute(400000);
+  if (rank > 0) { mpi_send((rank - 1) / 2, $BYTES$, 0); }
+  mpi_barrier();
+})",
+               {{"BYTES", bytes}});
+}
+
+// --------------------------------------------------------------------
+// EP: compute + final reductions.
+
+std::string epSource(int procs, int scale) {
+  (void)procs;
+  return subst(R"(
+// EP communication skeleton: embarrassingly parallel.
+func main() {
+  for (var blk = 0; blk < $BLOCKS$; blk = blk + 1) { compute(900000); }
+  mpi_allreduce(16);
+  mpi_allreduce(16);
+  mpi_allreduce(80);
+})",
+               {{"BLOCKS", 8LL * scale}});
+}
+
+// --------------------------------------------------------------------
+// FT: all-to-all transposes per iteration.
+
+std::string ftSource(int procs, int scale) {
+  const long long chunk = std::max(1024LL, (1LL << 26) / (static_cast<long long>(procs) * procs));
+  return subst(R"(
+// FT communication skeleton: FFT transpose steps.
+func main() {
+  for (var it = 0; it < $NITER$; it = it + 1) {
+    compute(500000);
+    mpi_alltoall($CHUNK$);
+    compute(250000);
+    mpi_allreduce(32);
+  }
+})",
+               {{"NITER", 15LL * scale}, {"CHUNK", chunk}});
+}
+
+// --------------------------------------------------------------------
+// LU: 2D wavefront pipeline with many small blocking messages.
+
+std::string luSource(int procs, int scale) {
+  CYP_CHECK(isPow2(procs), "LU requires a power-of-two process count, got " << procs);
+  const int k = ilog2(procs);
+  const int qx = 1 << ((k + 1) / 2);
+  const int qy = procs / qx;
+  return subst(R"(
+// LU communication skeleton: SSOR wavefront sweeps.
+func main() {
+  var qx = $QX$;
+  var xi = rank % qx;
+  var yi = rank / qx;
+  var qy = $QY$;
+  for (var step = 0; step < $NITER$; step = step + 1) {
+    // lower-triangular sweep: wavefront from (0,0)
+    for (var z = 0; z < $NZ$; z = z + 1) {
+      if (xi > 0) { mpi_recv(rank - 1, $BYTES$, 11); }
+      if (yi > 0) { mpi_recv(rank - qx, $BYTES$, 12); }
+      compute(25000);
+      if (xi < qx - 1) { mpi_send(rank + 1, $BYTES$, 11); }
+      if (yi < qy - 1) { mpi_send(rank + qx, $BYTES$, 12); }
+    }
+    // upper-triangular sweep: wavefront from (qx-1, qy-1)
+    for (var z = 0; z < $NZ$; z = z + 1) {
+      if (xi < qx - 1) { mpi_recv(rank + 1, $BYTES$, 13); }
+      if (yi < qy - 1) { mpi_recv(rank + qx, $BYTES$, 14); }
+      compute(25000);
+      if (xi > 0) { mpi_send(rank - 1, $BYTES$, 13); }
+      if (yi > 0) { mpi_send(rank - qx, $BYTES$, 14); }
+    }
+    if (step % 8 == 0) { mpi_allreduce(40); }
+  }
+})",
+               {{"QX", qx},
+                {"QY", qy},
+                {"NZ", 24},
+                {"BYTES", 1120},
+                {"NITER", 12LL * scale}});
+}
+
+// --------------------------------------------------------------------
+// MG: V-cycle multigrid on a 3D grid; level-dependent neighbours.
+
+std::string mgSource(int procs, int scale) {
+  CYP_CHECK(isPow2(procs), "MG requires a power-of-two process count, got " << procs);
+  int px, py, pz;
+  factor3(procs, &px, &py, &pz);
+  return subst(R"(
+// MG communication skeleton: V-cycle with level-dependent exchanges.
+func exchange(d, bytes) {
+  var px = $PX$;
+  var py = $PY$;
+  var pz = $PZ$;
+  var xi = rank % px;
+  var yi = (rank / px) % py;
+  var zi = rank / (px * py);
+  var active = 1;
+  if (xi % d != 0) { active = 0; }
+  if (yi % d != 0) { active = 0; }
+  if (zi % d != 0) { active = 0; }
+  if (active == 1) {
+    // x direction
+    if (xi + d < px) { mpi_send(rank + d, bytes, 31); }
+    if (xi >= d)     { mpi_recv(rank - d, bytes, 31); }
+    if (xi >= d)     { mpi_send(rank - d, bytes, 32); }
+    if (xi + d < px) { mpi_recv(rank + d, bytes, 32); }
+    // y direction
+    if (yi + d < py) { mpi_send(rank + d * px, bytes, 33); }
+    if (yi >= d)     { mpi_recv(rank - d * px, bytes, 33); }
+    if (yi >= d)     { mpi_send(rank - d * px, bytes, 34); }
+    if (yi + d < py) { mpi_recv(rank + d * px, bytes, 34); }
+    // z direction
+    if (zi + d < pz) { mpi_send(rank + d * px * py, bytes, 35); }
+    if (zi >= d)     { mpi_recv(rank - d * px * py, bytes, 35); }
+    if (zi >= d)     { mpi_send(rank - d * px * py, bytes, 36); }
+    if (zi + d < pz) { mpi_recv(rank + d * px * py, bytes, 36); }
+  }
+}
+
+func main() {
+  for (var it = 0; it < $NITER$; it = it + 1) {
+    // restriction: fine -> coarse
+    var d = 1;
+    var b = $FINEB$;
+    for (var l = 0; l < $LEVELS$; l = l + 1) {
+      exchange(d, b);
+      compute(80000);
+      d = d * 2;
+      b = max(b / 4, 256);
+    }
+    // prolongation: coarse -> fine
+    for (var l = 0; l < $LEVELS$; l = l + 1) {
+      d = d / 2;
+      exchange(d, b);
+      compute(80000);
+      b = min(b * 4, $FINEB$);
+    }
+    mpi_allreduce(24);
+  }
+})",
+               {{"PX", px},
+                {"PY", py},
+                {"PZ", pz},
+                {"LEVELS", 5},
+                {"FINEB", 65536},
+                {"NITER", 10LL * scale}});
+}
+
+// --------------------------------------------------------------------
+// SP: BT-like structure with per-iteration varying sizes and tags.
+
+std::string spSource(int procs, int scale) {
+  CYP_CHECK(isSquare(procs), "SP requires a square process count, got " << procs);
+  const int q = intSqrt(procs);
+  const long long face = std::max(2048LL, 30000000LL / (procs * 16));
+  return subst(R"(
+// SP communication skeleton: varying message sizes and tags per step —
+// the pattern that defeats last-record-only matching.
+func sweep(prev, next, first, last, bytes, tag) {
+  if (first == 0) { mpi_recv(prev, bytes, tag); }
+  compute(50000);
+  if (last == 0)  { mpi_send(next, bytes, tag); }
+}
+
+func main() {
+  var q = $Q$;
+  var row = rank / q;
+  var col = rank % q;
+  for (var step = 0; step < $NITER$; step = step + 1) {
+    var fb = $FACE$ + (step * 5 % 13) * 512 + (rank % 3) * 256;
+    var tg = 100 + step % 7;
+    var e = row * q + (col + 1) % q;
+    var w = row * q + (col + q - 1) % q;
+    var s = ((row + 1) % q) * q + col;
+    var n = ((row + q - 1) % q) * q + col;
+    var fe = $FACE$ + (step * 5 % 13) * 512 + (e % 3) * 256;
+    var fw = $FACE$ + (step * 5 % 13) * 512 + (w % 3) * 256;
+    var fs = $FACE$ + (step * 5 % 13) * 512 + (s % 3) * 256;
+    var fn = $FACE$ + (step * 5 % 13) * 512 + (n % 3) * 256;
+    var r1 = mpi_isend(e, fb, tg);
+    var r2 = mpi_isend(w, fb, tg);
+    var r3 = mpi_isend(s, fb, tg);
+    var r4 = mpi_isend(n, fb, tg);
+    var r5 = mpi_irecv(w, fw, tg);
+    var r6 = mpi_irecv(e, fe, tg);
+    var r7 = mpi_irecv(n, fn, tg);
+    var r8 = mpi_irecv(s, fs, tg);
+    mpi_waitall();
+    compute(220000);
+    // pipelined sweeps with per-step sizes
+    var lb = 1024 + (step % 11) * 128;
+    sweep(rank - 1, rank + 1, col == 0, col == q - 1, lb, 10 + step % 5);
+    sweep(rank - q, rank + q, row == 0, row == q - 1, lb, 40 + step % 5);
+    sweep(rank - q, rank + q, row == 0, row == q - 1, lb, 70 + step % 5);
+  }
+  mpi_allreduce(40);
+})",
+               {{"Q", q}, {"NITER", 20LL * scale}, {"FACE", face}});
+}
+
+// --------------------------------------------------------------------
+// JACOBI: the paper's Figure 3 example.
+
+std::string jacobiSource(int procs, int scale) {
+  (void)procs;
+  return subst(R"(
+// Jacobi iteration (paper Figure 3).
+func main() {
+  for (var k = 0; k < $NITER$; k = k + 1) {
+    if (rank < size - 1) { mpi_send(rank + 1, $BYTES$, 0); }
+    if (rank > 0)        { mpi_recv(rank - 1, $BYTES$, 0); }
+    if (rank > 0)        { mpi_send(rank - 1, $BYTES$, 0); }
+    if (rank < size - 1) { mpi_recv(rank + 1, $BYTES$, 0); }
+    compute(150000);
+  }
+})",
+               {{"NITER", 50LL * scale}, {"BYTES", 8192}});
+}
+
+// --------------------------------------------------------------------
+// LESLIE3D: 3D stencil, exactly two halo sizes (43 KB / 83 KB).
+
+std::string leslieSource(int procs, int scale) {
+  int px, py, pz;
+  factor3(procs, &px, &py, &pz);
+  return subst(R"(
+// LESlie3d communication skeleton: 3D domain decomposition with two
+// halo message sizes, plus periodic residual reductions.
+func main() {
+  var px = $PX$;
+  var py = $PY$;
+  var pz = $PZ$;
+  var xi = rank % px;
+  var yi = (rank / px) % py;
+  var zi = rank / (px * py);
+  var small = 44032;  // 43 KB
+  var big = 84992;    // 83 KB
+  for (var step = 0; step < $NITER$; step = step + 1) {
+    if (xi > 0)      { var a1 = mpi_isend(rank - 1, small, 1); }
+    if (xi < px - 1) { var a2 = mpi_isend(rank + 1, small, 1); }
+    if (xi > 0)      { var a3 = mpi_irecv(rank - 1, small, 1); }
+    if (xi < px - 1) { var a4 = mpi_irecv(rank + 1, small, 1); }
+    if (yi > 0)      { var b1 = mpi_isend(rank - px, small, 2); }
+    if (yi < py - 1) { var b2 = mpi_isend(rank + px, small, 2); }
+    if (yi > 0)      { var b3 = mpi_irecv(rank - px, small, 2); }
+    if (yi < py - 1) { var b4 = mpi_irecv(rank + px, small, 2); }
+    if (zi > 0)      { var c1 = mpi_isend(rank - px * py, big, 3); }
+    if (zi < pz - 1) { var c2 = mpi_isend(rank + px * py, big, 3); }
+    if (zi > 0)      { var c3 = mpi_irecv(rank - px * py, big, 3); }
+    if (zi < pz - 1) { var c4 = mpi_irecv(rank + px * py, big, 3); }
+    mpi_waitall();
+    // strong scaling: the 193^3 grid is divided among the processes
+    compute(51200000 / size);
+    if (step % 5 == 0) { mpi_allreduce(40); }
+  }
+})",
+               {{"PX", px}, {"PY", py}, {"PZ", pz}, {"NITER", 25LL * scale}});
+}
+
+// --------------------------------------------------------------------
+// SMG2000: semicoarsening multigrid (the paper's §I motivating example,
+// which produced ~5 TB of traces at 22,538 processes). Coarsening
+// proceeds one dimension at a time, so the level structure is three
+// times deeper than MG's and the setup phase exchanges many small
+// messages — the trace-volume pathology the paper opens with.
+
+std::string smgSource(int procs, int scale) {
+  CYP_CHECK(isPow2(procs), "SMG2000 requires a power-of-two process count, got "
+                               << procs);
+  int px, py, pz;
+  factor3(procs, &px, &py, &pz);
+  return subst(R"(
+// SMG2000 communication skeleton: semicoarsening V-cycles.
+func exchange_dim(stride, extent, coord, d, bytes, tag) {
+  // one dimension of a halo exchange at active-rank distance d
+  if (coord % d == 0) {
+    if (coord + d < extent) { mpi_send(rank + d * stride, bytes, tag); }
+    if (coord >= d)         { mpi_recv(rank - d * stride, bytes, tag); }
+    if (coord >= d)         { mpi_send(rank - d * stride, bytes, tag + 1); }
+    if (coord + d < extent) { mpi_recv(rank + d * stride, bytes, tag + 1); }
+  }
+}
+
+func main() {
+  var px = $PX$;
+  var py = $PY$;
+  var pz = $PZ$;
+  var xi = rank % px;
+  var yi = (rank / px) % py;
+  var zi = rank / (px * py);
+  // setup phase: several rounds of small nearest-neighbour messages
+  for (var r = 0; r < $SETUP$; r = r + 1) {
+    exchange_dim(1, px, xi, 1, 512, 10);
+    exchange_dim(px, py, yi, 1, 512, 20);
+    exchange_dim(px * py, pz, zi, 1, 512, 30);
+  }
+  for (var it = 0; it < $NITER$; it = it + 1) {
+    // semicoarsening: the coarsened dimension cycles z, y, x per level
+    var dz = 1;
+    var dy = 1;
+    var dx = 1;
+    var b = $FINEB$;
+    for (var level = 0; level < $LEVELS$; level = level + 1) {
+      exchange_dim(1, px, xi, dx, b, 40);
+      exchange_dim(px, py, yi, dy, b, 50);
+      exchange_dim(px * py, pz, zi, dz, b, 60);
+      if (level % 3 == 0) { dz = dz * 2; }
+      if (level % 3 == 1) { dy = dy * 2; }
+      if (level % 3 == 2) { dx = dx * 2; }
+      b = max(b / 2, 128);
+    }
+    mpi_allreduce(24);
+  }
+})",
+               {{"PX", px},
+                {"PY", py},
+                {"PZ", pz},
+                {"SETUP", 6},
+                {"LEVELS", 9},
+                {"FINEB", 32768},
+                {"NITER", 8LL * scale}});
+}
+
+// --------------------------------------------------------------------
+// IS: NPB integer sort — bucket redistribution via all-to-all exchanges
+// plus key-extrema reductions (not part of the paper's Fig. 15 set, but
+// completes the NPB suite for library users).
+
+std::string isSource(int procs, int scale) {
+  const long long bucket =
+      std::max(1024LL, (1LL << 25) / (static_cast<long long>(procs) * procs));
+  return subst(R"(
+// IS communication skeleton: bucket sort redistribution.
+func main() {
+  for (var it = 0; it < $NITER$; it = it + 1) {
+    compute(300000);
+    mpi_allreduce(8192);     // bucket size histogram
+    mpi_alltoall($BUCKET$);  // key redistribution
+    compute(150000);
+  }
+  mpi_allreduce(16);         // full verification
+})",
+               {{"NITER", 10LL * scale}, {"BUCKET", bucket}});
+}
+
+bool anyProcs(int p) { return p >= 1; }
+bool squareProcs(int p) { return isSquare(p); }
+bool pow2Procs(int p) { return isPow2(p); }
+
+const std::vector<Workload>& registry() {
+  static const std::vector<Workload> table = {
+      {"BT", {64, 121, 256, 400}, btSource, squareProcs},
+      {"CG", {64, 128, 256, 512}, cgSource, pow2Procs},
+      {"DT", {48, 64, 128, 256}, dtSource, anyProcs},
+      {"EP", {64, 128, 256, 512}, epSource, anyProcs},
+      {"FT", {64, 128, 256, 512}, ftSource, anyProcs},
+      {"LU", {64, 128, 256, 512}, luSource, pow2Procs},
+      {"MG", {64, 128, 256, 512}, mgSource, pow2Procs},
+      {"SP", {64, 121, 256, 400}, spSource, squareProcs},
+      {"SMG2000", {64, 128, 256, 512}, smgSource, pow2Procs},
+      {"IS", {64, 128, 256, 512}, isSource, anyProcs},
+      {"JACOBI", {16, 32, 64}, jacobiSource, anyProcs},
+      {"LESLIE3D", {32, 64, 128, 256, 512}, leslieSource, anyProcs},
+  };
+  return table;
+}
+
+}  // namespace
+
+const Workload& get(const std::string& name) {
+  for (const Workload& w : registry())
+    if (w.name == name) return w;
+  CYP_FAIL("unknown workload '" << name << "'");
+}
+
+std::vector<std::string> allNames() {
+  std::vector<std::string> names;
+  for (const Workload& w : registry()) names.push_back(w.name);
+  return names;
+}
+
+std::vector<std::string> npbNames() {
+  return {"BT", "CG", "DT", "EP", "FT", "LU", "MG", "SP"};
+}
+
+}  // namespace cypress::workloads

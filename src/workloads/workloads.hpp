@@ -1,0 +1,55 @@
+// MiniC communication skeletons of the paper's evaluation workloads.
+//
+// Each generator emits the *communication structure* of the benchmark —
+// who talks to whom, message sizes, loop/branch nesting — which is what
+// determines trace compressibility. Iteration counts are scaled down
+// from CLASS D (a `scale` knob) so hundreds of simulated ranks fit a
+// laptop; the per-tool ordering and scaling trends are preserved.
+//
+//   BT  — 3D multi-partition on a square process grid: face exchanges
+//         (non-blocking + waitall) and pipelined line solves per
+//         dimension; constant message sizes.
+//   CG  — power-of-two 2D layout: butterfly reductions inside rows and
+//         transpose-partner exchanges per CG iteration.
+//   DT  — small quadtree data-flow graph: few, large messages.
+//   EP  — embarrassingly parallel: compute plus a few final reductions.
+//   FT  — per-iteration all-to-all transposes plus checksum reductions.
+//   LU  — 2D wavefront (SSOR) pipeline: very many small blocking
+//         messages, highly regular.
+//   MG  — V-cycle multigrid on a 3D process grid: level-dependent
+//         neighbor distances and participation (nested branches,
+//         irregular across ranks — the hard case of the paper).
+//   SP  — like BT but with per-iteration varying message sizes and tags
+//         (the case where CYPRESS's last-record matching loses to
+//         ScalaTrace-2's value aggregation).
+//   JACOBI   — the paper's Figure 3 example.
+//   LESLIE3D — 3D CFD stencil with exactly two halo message sizes
+//         (43 KB / 83 KB, as reported in §VII-D) plus residual
+//         reductions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cypress::workloads {
+
+struct Workload {
+  std::string name;
+  /// Process counts used in the paper's figures for this code.
+  std::vector<int> paperProcCounts;
+  /// Generate the MiniC source for `procs` ranks at iteration scale
+  /// `scale` (1 = bench default; tests use smaller).
+  std::string (*source)(int procs, int scale);
+  /// Validate a process count (e.g. BT/SP need squares, CG/FT powers of
+  /// two); generators throw cypress::Error on violation.
+  bool (*supportsProcs)(int procs);
+};
+
+/// All workloads, keyed by upper-case name. Throws on unknown names.
+const Workload& get(const std::string& name);
+std::vector<std::string> allNames();
+
+/// The eight NPB codes in paper order.
+std::vector<std::string> npbNames();
+
+}  // namespace cypress::workloads

@@ -1,0 +1,195 @@
+// Tests for dominators, natural loops and the call graph, driven mostly
+// through MiniC sources so the CFGs are realistic.
+#include <gtest/gtest.h>
+
+#include "analysis/callgraph.hpp"
+#include "analysis/dominators.hpp"
+#include "analysis/loops.hpp"
+#include "minic/compile.hpp"
+
+namespace cypress::analysis {
+namespace {
+
+using minic::compileProgram;
+
+TEST(Dominators, StraightLine) {
+  auto m = compileProgram("func main() { var x = 1; x = x + 1; }");
+  const ir::Function& f = *m->function("main");
+  DomTree dom = DomTree::build(f);
+  EXPECT_EQ(dom.idom(0), 0);
+  EXPECT_TRUE(dom.dominates(0, 0));
+}
+
+TEST(Dominators, DiamondJoinDominatedByCond) {
+  auto m = compileProgram(R"(
+    func main() {
+      var x = 0;
+      if (rank % 2 == 0) { x = 1; } else { x = 2; }
+      x = 3;
+    })");
+  const ir::Function& f = *m->function("main");
+  DomTree dom = DomTree::build(f);
+  // Block layout: 0 entry(cond), 1 then, 2 else, 3 join.
+  ASSERT_EQ(f.blocks.size(), 4u);
+  EXPECT_EQ(dom.idom(1), 0);
+  EXPECT_EQ(dom.idom(2), 0);
+  EXPECT_EQ(dom.idom(3), 0);
+  EXPECT_TRUE(dom.dominates(0, 3));
+  EXPECT_FALSE(dom.dominates(1, 3));
+}
+
+TEST(Dominators, PostDominatorsOfDiamond) {
+  auto m = compileProgram(R"(
+    func main() {
+      var x = 0;
+      if (rank % 2 == 0) { x = 1; } else { x = 2; }
+      x = 3;
+    })");
+  const ir::Function& f = *m->function("main");
+  DomTree post = DomTree::buildPost(f);
+  // The join (block 3) post-dominates the condition and both arms.
+  EXPECT_EQ(post.idom(0), 3);
+  EXPECT_EQ(post.idom(1), 3);
+  EXPECT_EQ(post.idom(2), 3);
+  EXPECT_TRUE(post.dominates(3, 0));
+}
+
+TEST(Loops, SimpleForLoop) {
+  auto m = compileProgram(R"(
+    func main() {
+      for (var i = 0; i < 10; i = i + 1) {
+        mpi_barrier();
+      }
+    })");
+  const ir::Function& f = *m->function("main");
+  LoopInfo li = LoopInfo::build(f);
+  ASSERT_EQ(li.loops().size(), 1u);
+  const Loop& loop = li.loops()[0];
+  EXPECT_EQ(loop.depth, 1);
+  EXPECT_EQ(loop.parent, -1);
+  EXPECT_FALSE(loop.latches.empty());
+  EXPECT_FALSE(loop.exitEdges.empty());
+  EXPECT_TRUE(li.isHeader(loop.header));
+  // Header is the for.cond block, which has an in-loop successor (body).
+  EXPECT_TRUE(loop.contains(loop.header));
+}
+
+TEST(Loops, NestedLoopsHaveCorrectDepthAndParent) {
+  auto m = compileProgram(R"(
+    func main() {
+      for (var i = 0; i < 4; i = i + 1) {
+        for (var j = 0; j < i; j = j + 1) {
+          mpi_barrier();
+        }
+      }
+    })");
+  const ir::Function& f = *m->function("main");
+  LoopInfo li = LoopInfo::build(f);
+  ASSERT_EQ(li.loops().size(), 2u);
+  const Loop* outer = nullptr;
+  const Loop* inner = nullptr;
+  for (const Loop& l : li.loops()) {
+    if (l.depth == 1) outer = &l;
+    if (l.depth == 2) inner = &l;
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->parent,
+            static_cast<int>(outer - li.loops().data()));
+  EXPECT_TRUE(outer->contains(inner->header));
+  EXPECT_GT(outer->blocks.size(), inner->blocks.size());
+}
+
+TEST(Loops, WhileLoopWithBranchInside) {
+  auto m = compileProgram(R"(
+    func main() {
+      var i = 0;
+      while (i < 8) {
+        if (i % 2 == 0) { mpi_barrier(); }
+        i = i + 1;
+      }
+    })");
+  const ir::Function& f = *m->function("main");
+  LoopInfo li = LoopInfo::build(f);
+  ASSERT_EQ(li.loops().size(), 1u);
+  const Loop& loop = li.loops()[0];
+  // Loop body contains the if-diamond blocks.
+  EXPECT_GE(loop.blocks.size(), 4u);
+}
+
+TEST(Loops, NoLoopsInBranchOnlyCode) {
+  auto m = compileProgram(R"(
+    func main() {
+      if (rank == 0) { mpi_barrier(); }
+    })");
+  LoopInfo li = LoopInfo::build(*m->function("main"));
+  EXPECT_TRUE(li.loops().empty());
+}
+
+TEST(CallGraph, EdgesAndPostOrder) {
+  auto m = compileProgram(R"(
+    func leaf() { mpi_barrier(); }
+    func mid() { leaf(); }
+    func main() { mid(); leaf(); }
+  )");
+  CallGraph g = CallGraph::build(*m);
+  const int mainN = g.nodeOf("main");
+  const int midN = g.nodeOf("mid");
+  const int leafN = g.nodeOf("leaf");
+  ASSERT_GE(mainN, 0);
+  ASSERT_GE(midN, 0);
+  ASSERT_GE(leafN, 0);
+  EXPECT_FALSE(g.isRecursive(mainN));
+  EXPECT_FALSE(g.isRecursive(midN));
+
+  // Bottom-up: leaf before mid before main.
+  auto pos = [&](int node) {
+    const auto& order = g.postOrder();
+    for (size_t i = 0; i < order.size(); ++i)
+      if (order[i] == node) return static_cast<int>(i);
+    return -1;
+  };
+  EXPECT_LT(pos(leafN), pos(midN));
+  EXPECT_LT(pos(midN), pos(mainN));
+}
+
+TEST(CallGraph, DetectsSelfRecursion) {
+  auto m = compileProgram(R"(
+    func rec(n) { if (n > 0) { rec(n - 1); } }
+    func main() { rec(5); }
+  )");
+  CallGraph g = CallGraph::build(*m);
+  EXPECT_TRUE(g.isRecursive(g.nodeOf("rec")));
+  EXPECT_FALSE(g.isRecursive(g.nodeOf("main")));
+}
+
+TEST(CallGraph, DetectsMutualRecursion) {
+  auto m = compileProgram(R"(
+    func ping(n) { if (n > 0) { pong(n - 1); } }
+    func pong(n) { if (n > 0) { ping(n - 1); } }
+    func main() { ping(4); }
+  )");
+  CallGraph g = CallGraph::build(*m);
+  EXPECT_TRUE(g.isRecursive(g.nodeOf("ping")));
+  EXPECT_TRUE(g.isRecursive(g.nodeOf("pong")));
+  EXPECT_FALSE(g.isRecursive(g.nodeOf("main")));
+  EXPECT_EQ(g.sccOf(g.nodeOf("ping")), g.sccOf(g.nodeOf("pong")));
+}
+
+TEST(CfgView, PredsMatchSuccs) {
+  auto m = compileProgram(R"(
+    func main() {
+      var i = 0;
+      while (i < 3) { i = i + 1; }
+    })");
+  CfgView cfg(*m->function("main"));
+  for (int b = 0; b < cfg.numBlocks(); ++b) {
+    for (int s : cfg.succs[static_cast<size_t>(b)]) {
+      const auto& preds = cfg.preds[static_cast<size_t>(s)];
+      EXPECT_NE(std::find(preds.begin(), preds.end(), b), preds.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cypress::analysis

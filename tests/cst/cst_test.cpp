@@ -1,0 +1,380 @@
+// Tests for CST construction (paper §III): Algorithm 1 shapes, the
+// inter-procedural inline (Algorithm 2), pruning, recursion conversion
+// (Figure 8), GID pre-order, serialization, and IR instrumentation.
+#include <gtest/gtest.h>
+
+#include "cst/builder.hpp"
+#include "cst/tree.hpp"
+#include "minic/compile.hpp"
+#include "support/error.hpp"
+
+namespace cypress::cst {
+namespace {
+
+using minic::compileProgram;
+
+/// Collect nodes of a kind in pre-order.
+std::vector<const Node*> nodesOfKind(const Tree& t, NodeKind k) {
+  std::vector<const Node*> out;
+  for (int g = 0; g < t.numNodes(); ++g)
+    if (t.byGid(g)->kind == k) out.push_back(t.byGid(g));
+  return out;
+}
+
+int countMarkers(const ir::Module& m, ir::InstrKind kind) {
+  int n = 0;
+  for (const auto& f : m.functions)
+    for (const auto& b : f->blocks)
+      for (const auto& i : b.instrs)
+        if (i.kind == kind) ++n;
+  return n;
+}
+
+TEST(CstBuilder, StraightLineProgram) {
+  auto m = compileProgram(R"(
+    func main() {
+      mpi_barrier();
+      mpi_allreduce(8);
+    })");
+  Tree t = buildProgramCst(*m);
+  ASSERT_EQ(t.root()->children.size(), 2u);
+  EXPECT_EQ(t.root()->children[0]->op, ir::MpiOp::Barrier);
+  EXPECT_EQ(t.root()->children[1]->op, ir::MpiOp::Allreduce);
+  // Pre-order GIDs.
+  EXPECT_EQ(t.root()->gid, 0);
+  EXPECT_EQ(t.root()->children[0]->gid, 1);
+  EXPECT_EQ(t.root()->children[1]->gid, 2);
+}
+
+TEST(CstBuilder, LoopBecomesLoopVertex) {
+  auto m = compileProgram(R"(
+    func main() {
+      for (var i = 0; i < 10; i = i + 1) { mpi_barrier(); }
+    })");
+  Tree t = buildProgramCst(*m);
+  ASSERT_EQ(t.root()->children.size(), 1u);
+  const Node& loop = *t.root()->children[0];
+  EXPECT_EQ(loop.kind, NodeKind::Loop);
+  ASSERT_EQ(loop.children.size(), 1u);
+  EXPECT_EQ(loop.children[0]->kind, NodeKind::Comm);
+}
+
+TEST(CstBuilder, BranchPathsPerArm) {
+  auto m = compileProgram(R"(
+    func main() {
+      if (rank % 2 == 0) { mpi_send(rank + 1, 64, 0); }
+      else { mpi_recv(rank - 1, 64, 0); }
+    })");
+  Tree t = buildProgramCst(*m);
+  ASSERT_EQ(t.root()->children.size(), 2u);
+  const Node& then = *t.root()->children[0];
+  const Node& els = *t.root()->children[1];
+  EXPECT_EQ(then.kind, NodeKind::Branch);
+  EXPECT_EQ(then.pathIndex, 0);
+  EXPECT_EQ(els.kind, NodeKind::Branch);
+  EXPECT_EQ(els.pathIndex, 1);
+  ASSERT_EQ(then.children.size(), 1u);
+  EXPECT_EQ(then.children[0]->op, ir::MpiOp::Send);
+  ASSERT_EQ(els.children.size(), 1u);
+  EXPECT_EQ(els.children[0]->op, ir::MpiOp::Recv);
+  // Distinct structure ids per path (the paper inserts a branch vertex
+  // per path).
+  EXPECT_NE(then.structId, els.structId);
+}
+
+TEST(CstBuilder, EmptyElseArmPruned) {
+  auto m = compileProgram(R"(
+    func main() {
+      if (rank > 0) { mpi_recv(rank - 1, 64, 0); }
+    })");
+  Tree t = buildProgramCst(*m);
+  ASSERT_EQ(t.root()->children.size(), 1u);
+  EXPECT_EQ(t.root()->children[0]->kind, NodeKind::Branch);
+  EXPECT_EQ(t.root()->children[0]->pathIndex, 0);
+}
+
+TEST(CstBuilder, PaperFigure7Shape) {
+  // The running example of the paper (Figure 5 -> Figure 7): a loop with
+  // send/recv branches and a call to bar() (loop of bcast), a comm-free
+  // foo() (pruned), and a reduce under a branch.
+  auto m = compileProgram(R"(
+    func bar() {
+      for (var k = 0; k < 4; k = k + 1) {
+        mpi_bcast(0, 64);
+      }
+    }
+    func foo() {
+      var sum = 0;
+      for (var j = 0; j < 8; j = j + 1) { sum = sum + j; }
+    }
+    func main() {
+      for (var i = 0; i < 3; i = i + 1) {
+        if (rank % 2 == 0) { mpi_send(rank + 1, 32, 0); }
+        else { mpi_recv(rank - 1, 32, 0); }
+        bar();
+      }
+      foo();
+      if (rank % 2 == 0) { mpi_reduce(0, 4); }
+    })");
+  Tree t = buildProgramCst(*m);
+
+  // Root: [Loop, Branch(then reduce)] — foo() pruned entirely.
+  ASSERT_EQ(t.root()->children.size(), 2u);
+  const Node& loop = *t.root()->children[0];
+  EXPECT_EQ(loop.kind, NodeKind::Loop);
+  // Loop children: then-path(send), else-path(recv), call bar.
+  ASSERT_EQ(loop.children.size(), 3u);
+  EXPECT_EQ(loop.children[0]->kind, NodeKind::Branch);
+  EXPECT_EQ(loop.children[0]->children[0]->op, ir::MpiOp::Send);
+  EXPECT_EQ(loop.children[1]->kind, NodeKind::Branch);
+  EXPECT_EQ(loop.children[1]->children[0]->op, ir::MpiOp::Recv);
+  const Node& barInst = *loop.children[2];
+  EXPECT_EQ(barInst.kind, NodeKind::Call);
+  ASSERT_EQ(barInst.children.size(), 1u);
+  EXPECT_EQ(barInst.children[0]->kind, NodeKind::Loop);
+  EXPECT_EQ(barInst.children[0]->children[0]->op, ir::MpiOp::Bcast);
+
+  const Node& reduceBr = *t.root()->children[1];
+  EXPECT_EQ(reduceBr.kind, NodeKind::Branch);
+  EXPECT_EQ(reduceBr.children[0]->op, ir::MpiOp::Reduce);
+
+  // No comm-free vertices survive anywhere.
+  for (const Node* n : nodesOfKind(t, NodeKind::Loop)) {
+    EXPECT_FALSE(n->children.empty());
+  }
+}
+
+TEST(CstBuilder, FunctionInlinedPerCallSite) {
+  auto m = compileProgram(R"(
+    func halo(b) {
+      if (rank > 0) { mpi_send(rank - 1, b, 0); }
+    }
+    func main() {
+      halo(64);
+      halo(128);
+    })");
+  Tree t = buildProgramCst(*m);
+  auto calls = nodesOfKind(t, NodeKind::Call);
+  ASSERT_EQ(calls.size(), 2u);
+  EXPECT_NE(calls[0]->callInstrId, calls[1]->callInstrId);
+  // Both instances contain a full copy of halo's structure.
+  for (const Node* c : calls) {
+    ASSERT_EQ(c->children.size(), 1u);
+    EXPECT_EQ(c->children[0]->kind, NodeKind::Branch);
+  }
+  // The copies have different GIDs.
+  EXPECT_NE(calls[0]->children[0]->gid, calls[1]->children[0]->gid);
+}
+
+TEST(CstBuilder, NestedLoops) {
+  auto m = compileProgram(R"(
+    func main() {
+      for (var i = 0; i < 4; i = i + 1) {
+        mpi_bcast(0, 8);
+        for (var j = 0; j < i; j = j + 1) {
+          var r1 = mpi_isend(rank + 1, 16, 0);
+          var r2 = mpi_irecv(rank - 1, 16, 0);
+          mpi_waitall();
+        }
+      }
+    })");
+  Tree t = buildProgramCst(*m);
+  const Node& outer = *t.root()->children[0];
+  ASSERT_EQ(outer.kind, NodeKind::Loop);
+  ASSERT_EQ(outer.children.size(), 2u);
+  EXPECT_EQ(outer.children[0]->op, ir::MpiOp::Bcast);
+  const Node& inner = *outer.children[1];
+  EXPECT_EQ(inner.kind, NodeKind::Loop);
+  ASSERT_EQ(inner.children.size(), 3u);
+  EXPECT_EQ(inner.children[0]->op, ir::MpiOp::Isend);
+  EXPECT_EQ(inner.children[1]->op, ir::MpiOp::Irecv);
+  EXPECT_EQ(inner.children[2]->op, ir::MpiOp::Waitall);
+}
+
+TEST(CstBuilder, RecursionBecomesPseudoLoop) {
+  // Paper Figure 8.
+  auto m = compileProgram(R"(
+    func foo(num) {
+      if (num == 0) { return; }
+      if (num < 8 && num > 3) {
+        mpi_bcast(0, 16);
+        mpi_reduce(0, 16);
+        foo(num - 1);
+      } else {
+        mpi_bcast(0, 16);
+        foo(num - 1);
+        mpi_reduce(0, 16);
+      }
+    }
+    func main() { foo(10); }
+  )");
+  Tree t = buildProgramCst(*m);
+  auto loops = nodesOfKind(t, NodeKind::Loop);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_TRUE(loops[0]->recursionLoop);
+  EXPECT_EQ(loops[0]->func, "foo");
+  // Under the pseudo-loop: branch structure with bcast/reduce leaves; the
+  // recursive call sites are elided.
+  auto comms = nodesOfKind(t, NodeKind::Comm);
+  EXPECT_EQ(comms.size(), 4u);
+  EXPECT_EQ(nodesOfKind(t, NodeKind::Call).size(), 1u);  // the outer foo()
+}
+
+TEST(CstBuilder, MutualRecursionInlinedOncePerCycle) {
+  auto m = compileProgram(R"(
+    func ping(n) { if (n > 0) { mpi_barrier(); pong(n - 1); } }
+    func pong(n) { if (n > 0) { mpi_allreduce(4); ping(n - 1); } }
+    func main() { ping(6); }
+  )");
+  Tree t = buildProgramCst(*m);
+  // ping instance wraps a pseudo-loop; inside it pong is inlined once
+  // with its own pseudo-loop; the call back to ping is elided.
+  auto loops = nodesOfKind(t, NodeKind::Loop);
+  ASSERT_EQ(loops.size(), 2u);
+  EXPECT_TRUE(loops[0]->recursionLoop);
+  EXPECT_TRUE(loops[1]->recursionLoop);
+  auto comms = nodesOfKind(t, NodeKind::Comm);
+  EXPECT_EQ(comms.size(), 2u);
+}
+
+TEST(CstBuilder, GidsArePreOrder) {
+  auto m = compileProgram(R"(
+    func main() {
+      for (var i = 0; i < 2; i = i + 1) {
+        if (rank == 0) { mpi_send(1, 8, 0); }
+        mpi_barrier();
+      }
+      mpi_reduce(0, 4);
+    })");
+  Tree t = buildProgramCst(*m);
+  for (int g = 0; g < t.numNodes(); ++g) {
+    EXPECT_EQ(t.byGid(g)->gid, g);
+    // Parent precedes child in pre-order.
+    if (t.byGid(g)->parent != nullptr) {
+      EXPECT_LT(t.byGid(g)->parent->gid, g);
+    }
+  }
+}
+
+TEST(CstBuilder, SerializationRoundTrip) {
+  auto m = compileProgram(R"(
+    func bar() { for (var k = 0; k < 4; k = k + 1) { mpi_bcast(0, 64); } }
+    func main() {
+      for (var i = 0; i < 3; i = i + 1) {
+        if (rank % 2 == 0) { mpi_send(rank + 1, 32, 0); }
+        else { mpi_recv(rank - 1, 32, 0); }
+        bar();
+      }
+    })");
+  Tree t = buildProgramCst(*m);
+  std::string text = t.toText();
+  Tree back = Tree::fromText(text);
+  EXPECT_EQ(back.toString(), t.toString());
+  EXPECT_EQ(back.numNodes(), t.numNodes());
+}
+
+TEST(CstBuilder, SerializationRejectsGarbage) {
+  EXPECT_THROW(Tree::fromText("garbage"), Error);
+  EXPECT_THROW(Tree::fromText("CST1 (0 0"), Error);
+}
+
+TEST(CstInstrument, MarkersInsertedAndModuleStillVerifies) {
+  auto m = compileProgram(R"(
+    func main() {
+      for (var i = 0; i < 10; i = i + 1) {
+        if (rank > 0) { mpi_recv(rank - 1, 8, 0); }
+      }
+    })");
+  StaticResult r = analyzeAndInstrument(*m);
+  EXPECT_NO_THROW(ir::verify(*m));
+  // Loop: 1 enter (header->body) + 1 exit (header->exit).
+  // Branch then-path: 1 enter + 1 exit; else-path pruned (no markers).
+  EXPECT_EQ(countMarkers(*m, ir::InstrKind::StructEnter), 2);
+  EXPECT_EQ(countMarkers(*m, ir::InstrKind::StructExit), 2);
+  EXPECT_GE(r.stats.numNodes, 4);
+  EXPECT_EQ(r.stats.numLoops, 1);
+}
+
+TEST(CstInstrument, CommFreeStructuresNotInstrumented) {
+  auto m = compileProgram(R"(
+    func main() {
+      var s = 0;
+      for (var i = 0; i < 100; i = i + 1) { s = s + i; }
+      mpi_barrier();
+    })");
+  analyzeAndInstrument(*m);
+  EXPECT_EQ(countMarkers(*m, ir::InstrKind::StructEnter), 0);
+  EXPECT_EQ(countMarkers(*m, ir::InstrKind::StructExit), 0);
+}
+
+TEST(CstInstrument, AnalysisOnlyLeavesIrUntouched) {
+  auto m = compileProgram(R"(
+    func main() {
+      for (var i = 0; i < 10; i = i + 1) { mpi_barrier(); }
+    })");
+  const std::string before = ir::print(*m);
+  buildProgramCst(*m);
+  EXPECT_EQ(ir::print(*m), before);
+}
+
+TEST(CstInstrument, EmptyElseArmOfCommBranchGetsNoMarkers) {
+  auto m = compileProgram(R"(
+    func main() {
+      if (rank == 0) { mpi_send(1, 8, 0); }
+    })");
+  analyzeAndInstrument(*m);
+  // Only the then-path survives pruning: 1 enter + 1 exit.
+  EXPECT_EQ(countMarkers(*m, ir::InstrKind::StructEnter), 1);
+  EXPECT_EQ(countMarkers(*m, ir::InstrKind::StructExit), 1);
+}
+
+TEST(CstInstrument, StatsCountVertices) {
+  auto m = compileProgram(R"(
+    func main() {
+      for (var i = 0; i < 4; i = i + 1) {
+        if (rank % 2 == 0) { mpi_send(rank + 1, 8, 0); }
+        else { mpi_recv(rank - 1, 8, 0); }
+      }
+      mpi_reduce(0, 4);
+    })");
+  StaticResult r = analyzeAndInstrument(*m);
+  EXPECT_EQ(r.stats.numLoops, 1);
+  EXPECT_EQ(r.stats.numBranches, 2);
+  EXPECT_EQ(r.stats.numCommVertices, 3);
+  EXPECT_GE(r.stats.cstSeconds, 0.0);
+}
+
+TEST(CstLookup, ChildResolution) {
+  auto m = compileProgram(R"(
+    func main() {
+      for (var i = 0; i < 4; i = i + 1) {
+        if (rank % 2 == 0) { mpi_send(rank + 1, 8, 0); }
+      }
+    })");
+  Tree t = buildProgramCst(*m);
+  const Node* loop = t.root()->children[0].get();
+  ASSERT_EQ(loop->kind, NodeKind::Loop);
+  EXPECT_EQ(Tree::childByStruct(t.root(), loop->structId, -1), loop);
+  const Node* path = loop->children[0].get();
+  EXPECT_EQ(Tree::childByStruct(loop, path->structId, 0), path);
+  EXPECT_EQ(Tree::childByStruct(loop, 9999, 0), nullptr);
+  const Node* leaf = path->children[0].get();
+  EXPECT_EQ(Tree::childByCallSite(path, leaf->callSiteId), leaf);
+  EXPECT_EQ(Tree::childByCallSite(path, 12345), nullptr);
+}
+
+TEST(CstLookup, EnclosingRecursionLoop) {
+  auto m = compileProgram(R"(
+    func rec(n) { if (n > 0) { mpi_barrier(); rec(n - 1); } }
+    func main() { rec(3); }
+  )");
+  Tree t = buildProgramCst(*m);
+  auto loops = nodesOfKind(t, NodeKind::Loop);
+  ASSERT_EQ(loops.size(), 1u);
+  const Node* deep = loops[0]->children[0].get();  // branch path inside
+  EXPECT_EQ(Tree::enclosingRecursionLoop(deep, "rec"), loops[0]);
+  EXPECT_EQ(Tree::enclosingRecursionLoop(deep, "other"), nullptr);
+}
+
+}  // namespace
+}  // namespace cypress::cst

@@ -1,0 +1,93 @@
+// Tests for the compressed-trace differ: identical traces, iteration
+// count drift, message size drift, rank regrouping, and structural
+// (different-program) mismatch.
+#include "cypress/diff.hpp"
+
+#include <gtest/gtest.h>
+
+#include "driver/pipeline.hpp"
+
+namespace cypress::core {
+namespace {
+
+// The merged tree points into the run's CST, so runs are kept alive at
+// stable addresses.
+MergedCtt traceOf(const std::string& src, int procs,
+                  std::vector<std::unique_ptr<driver::RunOutput>>* keepAlive) {
+  driver::Options opts;
+  opts.procs = procs;
+  opts.withScala = false;
+  opts.withScala2 = false;
+  opts.engine.jitter = 0.0;  // identical runs produce identical payloads
+  keepAlive->push_back(
+      std::make_unique<driver::RunOutput>(driver::runSource("diff", src, opts)));
+  return mergeCypress(*keepAlive->back());
+}
+
+const char* kBase = R"(
+  func main() {
+    for (var i = 0; i < 10; i = i + 1) {
+      if (rank < size - 1) { mpi_send(rank + 1, 512, 0); }
+      if (rank > 0)        { mpi_recv(rank - 1, 512, 0); }
+      mpi_allreduce(8);
+    }
+  })";
+
+TEST(TraceDiff, IdenticalRunsAreIdentical) {
+  std::vector<std::unique_ptr<driver::RunOutput>> keep;
+  MergedCtt a = traceOf(kBase, 6, &keep);
+  MergedCtt b = traceOf(kBase, 6, &keep);
+  TraceDiff d = diffTraces(a, b);
+  EXPECT_TRUE(d.identical()) << d.toString();
+}
+
+TEST(TraceDiff, IterationCountChangeLocalizedToLoop) {
+  std::vector<std::unique_ptr<driver::RunOutput>> keep;
+  MergedCtt a = traceOf(kBase, 6, &keep);
+  std::string more = kBase;
+  more.replace(more.find("i < 10"), 6, "i < 20");
+  MergedCtt b = traceOf(more, 6, &keep);
+  TraceDiff d = diffTraces(a, b);
+  EXPECT_TRUE(d.sameStructure);
+  EXPECT_FALSE(d.identical());
+  bool loopDiff = false;
+  for (const auto& e : d.entries)
+    if (e.what.find("loop counts") != std::string::npos) loopDiff = true;
+  EXPECT_TRUE(loopDiff) << d.toString();
+}
+
+TEST(TraceDiff, MessageSizeChangeLocalizedToLeaf) {
+  std::vector<std::unique_ptr<driver::RunOutput>> keep;
+  MergedCtt a = traceOf(kBase, 6, &keep);
+  std::string bigger = kBase;
+  bigger.replace(bigger.find("512"), 3, "999");
+  bigger.replace(bigger.find("512"), 3, "999");
+  MergedCtt b = traceOf(bigger, 6, &keep);
+  TraceDiff d = diffTraces(a, b);
+  EXPECT_TRUE(d.sameStructure);
+  bool recordDiff = false;
+  for (const auto& e : d.entries)
+    if (e.what.find("record") != std::string::npos) recordDiff = true;
+  EXPECT_TRUE(recordDiff) << d.toString();
+}
+
+TEST(TraceDiff, DifferentProcessCountRegroupsRanks) {
+  std::vector<std::unique_ptr<driver::RunOutput>> keep;
+  MergedCtt a = traceOf(kBase, 6, &keep);
+  MergedCtt b = traceOf(kBase, 12, &keep);
+  TraceDiff d = diffTraces(a, b);
+  EXPECT_TRUE(d.sameStructure);  // same program
+  EXPECT_FALSE(d.identical());
+}
+
+TEST(TraceDiff, DifferentProgramsStopAtStructure) {
+  std::vector<std::unique_ptr<driver::RunOutput>> keep;
+  MergedCtt a = traceOf(kBase, 4, &keep);
+  MergedCtt b = traceOf("func main() { mpi_barrier(); }", 4, &keep);
+  TraceDiff d = diffTraces(a, b);
+  EXPECT_FALSE(d.sameStructure);
+  EXPECT_NE(d.toString().find("structure"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cypress::core

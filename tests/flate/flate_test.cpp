@@ -1,0 +1,197 @@
+#include "flate/flate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "flate/huffman.hpp"
+#include "flate/lz77.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace cypress::flate {
+namespace {
+
+std::vector<uint8_t> bytesOf(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(Huffman, SingleSymbolGetsOneBitCode) {
+  std::vector<uint64_t> freqs(10, 0);
+  freqs[4] = 100;
+  auto lens = buildCodeLengths(freqs);
+  EXPECT_EQ(lens[4], 1);
+  for (size_t i = 0; i < lens.size(); ++i) {
+    if (i != 4) {
+      EXPECT_EQ(lens[i], 0);
+    }
+  }
+}
+
+TEST(Huffman, KraftInequalityHolds) {
+  Rng rng(99);
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<uint64_t> freqs(286);
+    for (auto& f : freqs) f = rng.below(1000);
+    auto lens = buildCodeLengths(freqs);
+    double kraft = 0;
+    for (size_t i = 0; i < lens.size(); ++i) {
+      if (lens[i]) {
+        EXPECT_LE(lens[i], kMaxCodeBits);
+        kraft += std::ldexp(1.0, -lens[i]);
+      }
+      if (freqs[i] > 0) {
+        EXPECT_GT(lens[i], 0) << "symbol " << i << " uncoded";
+      }
+    }
+    EXPECT_LE(kraft, 1.0 + 1e-9);
+  }
+}
+
+TEST(Huffman, LengthLimitingKicksInOnSkewedFreqs) {
+  // Fibonacci-like frequencies force deep unrestricted trees.
+  std::vector<uint64_t> freqs(40);
+  uint64_t a = 1, b = 1;
+  for (auto& f : freqs) {
+    f = a;
+    uint64_t c = a + b;
+    a = b;
+    b = c;
+  }
+  auto lens = buildCodeLengths(freqs);
+  for (uint8_t l : lens) EXPECT_LE(l, kMaxCodeBits);
+  double kraft = 0;
+  for (uint8_t l : lens)
+    if (l) kraft += std::ldexp(1.0, -l);
+  EXPECT_LE(kraft, 1.0 + 1e-9);
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip) {
+  std::vector<uint64_t> freqs = {5, 1, 0, 9, 2, 2, 0, 30};
+  auto lens = buildCodeLengths(freqs);
+  auto codes = canonicalCodes(lens);
+  HuffmanDecoder dec(lens);
+
+  std::vector<int> symbols = {0, 3, 7, 7, 4, 1, 5, 3, 0, 7};
+  BitWriter bw;
+  for (int s : symbols) bw.put(codes[static_cast<size_t>(s)], lens[static_cast<size_t>(s)]);
+  auto bits = bw.take();
+  BitReader br(bits);
+  for (int s : symbols) EXPECT_EQ(dec.decode(br), s);
+}
+
+TEST(Lz77, FindsRepeats) {
+  auto data = bytesOf("abcabcabcabcabcabc");
+  auto tokens = tokenize(data);
+  EXPECT_LT(tokens.size(), data.size());  // matched something
+  EXPECT_EQ(detokenize(tokens), data);
+}
+
+TEST(Lz77, HandlesOverlappingMatches) {
+  // "aaaa..." relies on overlapping copy semantics (dist < len).
+  std::vector<uint8_t> data(500, 'a');
+  auto tokens = tokenize(data);
+  EXPECT_LE(tokens.size(), 4u);
+  EXPECT_EQ(detokenize(tokens), data);
+}
+
+TEST(Lz77, RandomDataRoundTrips) {
+  Rng rng(5);
+  for (int iter = 0; iter < 10; ++iter) {
+    std::vector<uint8_t> data(rng.below(5000));
+    for (auto& b : data) b = static_cast<uint8_t>(rng.below(256));
+    EXPECT_EQ(detokenize(tokenize(data)), data);
+  }
+}
+
+TEST(Flate, EmptyInput) {
+  std::vector<uint8_t> empty;
+  auto c = compress(empty);
+  EXPECT_EQ(decompress(c), empty);
+}
+
+TEST(Flate, SmallStrings) {
+  for (const char* s : {"a", "ab", "hello world", "x"}) {
+    auto data = bytesOf(s);
+    EXPECT_EQ(decompress(compress(data)), data) << s;
+  }
+}
+
+TEST(Flate, CompressesRepetitiveTraceLikeData) {
+  // Synthetic "trace": repeated fixed-size records, as raw traces are.
+  std::string record = "MPI_Send dst=12 bytes=4096 tag=7 comm=0\n";
+  std::string trace;
+  for (int i = 0; i < 2000; ++i) trace += record;
+  auto data = bytesOf(trace);
+  auto c = compress(data);
+  EXPECT_LT(c.size(), data.size() / 50);  // massively compressible
+  EXPECT_EQ(decompress(c), data);
+}
+
+TEST(Flate, IncompressibleDataFallsBackToStored) {
+  Rng rng(11);
+  std::vector<uint8_t> data(4096);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.below(256));
+  auto c = compress(data);
+  // Container framing is small even when nothing compresses.
+  EXPECT_LE(c.size(), data.size() + 16);
+  EXPECT_EQ(decompress(c), data);
+}
+
+TEST(Flate, PropertyRoundTripAcrossLevelsAndShapes) {
+  Rng rng(123);
+  for (uint64_t seed = 0; seed < 12; ++seed) {
+    Rng gen(seed);
+    std::vector<uint8_t> data(gen.below(20000));
+    const int mode = static_cast<int>(seed % 3);
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (mode == 0) data[i] = static_cast<uint8_t>(gen.below(256));
+      else if (mode == 1) data[i] = static_cast<uint8_t>(i % 17);
+      else data[i] = static_cast<uint8_t>(gen.below(4) * 63);
+    }
+    for (Level lvl : {Level::Fast, Level::Default, Level::Best}) {
+      auto c = compress(data, lvl);
+      EXPECT_EQ(decompress(c), data) << "seed " << seed;
+    }
+  }
+  (void)rng;
+}
+
+TEST(Flate, CorruptMagicThrows) {
+  auto c = compress(bytesOf("payload"));
+  c[0] ^= 0xFF;
+  EXPECT_THROW(decompress(c), Error);
+}
+
+TEST(Flate, CorruptPayloadFailsCrc) {
+  std::string s(300, 'q');
+  auto c = compress(bytesOf(s));
+  c[c.size() - 1] ^= 0x01;
+  EXPECT_THROW(decompress(c), Error);
+}
+
+TEST(Flate, Crc32KnownVector) {
+  // CRC-32 of "123456789" is the classic check value 0xCBF43926.
+  auto data = bytesOf("123456789");
+  EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+TEST(Flate, StringHelpersRoundTrip) {
+  std::string s = "communication structure tree\n";
+  for (int i = 0; i < 6; ++i) s += s;
+  auto c = compressString(s);
+  EXPECT_EQ(decompressToString(c), s);
+}
+
+TEST(Flate, BestLevelNotWorseThanFastOnRedundantData) {
+  std::string s;
+  for (int i = 0; i < 500; ++i)
+    s += "loop iteration " + std::to_string(i % 10) + ";";
+  auto data = bytesOf(s);
+  auto fast = compress(data, Level::Fast);
+  auto best = compress(data, Level::Best);
+  EXPECT_LE(best.size(), fast.size() + 8);
+}
+
+}  // namespace
+}  // namespace cypress::flate

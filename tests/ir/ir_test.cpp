@@ -1,0 +1,160 @@
+#include "ir/ir.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ir/expr.hpp"
+#include "support/error.hpp"
+
+namespace cypress::ir {
+namespace {
+
+/// Fixed-value environment for expression tests.
+class TestEnv : public VarSource {
+ public:
+  TestEnv(std::vector<int64_t> vars, int64_t rank, int64_t size)
+      : vars_(std::move(vars)), rank_(rank), size_(size) {}
+  int64_t var(int slot) const override { return vars_.at(static_cast<size_t>(slot)); }
+  int64_t rank() const override { return rank_; }
+  int64_t size() const override { return size_; }
+
+ private:
+  std::vector<int64_t> vars_;
+  int64_t rank_, size_;
+};
+
+TEST(Expr, EvaluatesArithmetic) {
+  TestEnv env({10, 3}, 0, 1);
+  auto e = Expr::binary(BinOp::Add, Expr::var(0),
+                        Expr::binary(BinOp::Mul, Expr::var(1), Expr::constant(4)));
+  EXPECT_EQ(evalExpr(*e, env), 22);
+}
+
+TEST(Expr, RankAndSize) {
+  TestEnv env({}, 7, 64);
+  auto e = Expr::binary(BinOp::Mod, Expr::binary(BinOp::Add, Expr::rank(),
+                                                 Expr::constant(1)),
+                        Expr::size());
+  EXPECT_EQ(evalExpr(*e, env), 8);
+}
+
+TEST(Expr, ComparisonsYieldZeroOne) {
+  TestEnv env({5}, 0, 1);
+  EXPECT_EQ(evalExpr(*Expr::binary(BinOp::Lt, Expr::var(0), Expr::constant(6)), env), 1);
+  EXPECT_EQ(evalExpr(*Expr::binary(BinOp::Ge, Expr::var(0), Expr::constant(6)), env), 0);
+  EXPECT_EQ(evalExpr(*Expr::binary(BinOp::Eq, Expr::var(0), Expr::constant(5)), env), 1);
+}
+
+TEST(Expr, ShortCircuitAndOr) {
+  TestEnv env({0}, 0, 1);
+  // rhs divides by zero; short-circuit must avoid evaluating it.
+  auto div0 = Expr::binary(BinOp::Div, Expr::constant(1), Expr::constant(0));
+  auto e = Expr::binary(BinOp::And, Expr::constant(0), std::move(div0));
+  EXPECT_EQ(evalExpr(*e, env), 0);
+
+  auto div0b = Expr::binary(BinOp::Div, Expr::constant(1), Expr::constant(0));
+  auto o = Expr::binary(BinOp::Or, Expr::constant(1), std::move(div0b));
+  EXPECT_EQ(evalExpr(*o, env), 1);
+}
+
+TEST(Expr, DivisionByZeroThrows) {
+  TestEnv env({}, 0, 1);
+  auto e = Expr::binary(BinOp::Div, Expr::constant(1), Expr::constant(0));
+  EXPECT_THROW(evalExpr(*e, env), Error);
+  auto m = Expr::binary(BinOp::Mod, Expr::constant(1), Expr::constant(0));
+  EXPECT_THROW(evalExpr(*m, env), Error);
+}
+
+TEST(Expr, MinMaxUnary) {
+  TestEnv env({}, 0, 1);
+  EXPECT_EQ(evalExpr(*Expr::binary(BinOp::Min, Expr::constant(3), Expr::constant(9)), env), 3);
+  EXPECT_EQ(evalExpr(*Expr::binary(BinOp::Max, Expr::constant(3), Expr::constant(9)), env), 9);
+  EXPECT_EQ(evalExpr(*Expr::unary(UnOp::Neg, Expr::constant(5)), env), -5);
+  EXPECT_EQ(evalExpr(*Expr::unary(UnOp::Not, Expr::constant(0)), env), 1);
+  EXPECT_EQ(evalExpr(*Expr::unary(UnOp::Not, Expr::constant(3)), env), 0);
+}
+
+TEST(Expr, CloneIsDeep) {
+  auto e = Expr::binary(BinOp::Add, Expr::var(0), Expr::constant(1));
+  auto c = e->clone();
+  e->lhs->varSlot = 99;
+  EXPECT_EQ(c->lhs->varSlot, 0);
+}
+
+Module makeSimpleModule() {
+  Module m;
+  Function* f = m.addFunction("main");
+  f->addVar("i");
+  const int b0 = f->addBlock("entry");
+  f->blocks[static_cast<size_t>(b0)].instrs.push_back(
+      Instr::assign(0, Expr::constant(0)));
+  f->blocks[static_cast<size_t>(b0)].instrs.push_back(
+      Instr::mpi(MpiOp::Barrier, {}));
+  f->blocks[static_cast<size_t>(b0)].term = Terminator::ret();
+  return m;
+}
+
+TEST(Module, VerifyAcceptsWellFormed) {
+  Module m = makeSimpleModule();
+  EXPECT_NO_THROW(verify(m));
+}
+
+TEST(Module, VerifyRejectsMissingEntry) {
+  Module m;
+  m.addFunction("helper")->addBlock("entry");
+  EXPECT_THROW(verify(m), Error);
+}
+
+TEST(Module, VerifyRejectsBadBranchTarget) {
+  Module m = makeSimpleModule();
+  m.function("main")->blocks[0].term = Terminator::br(42);
+  EXPECT_THROW(verify(m), Error);
+}
+
+TEST(Module, VerifyRejectsBadVarSlot) {
+  Module m = makeSimpleModule();
+  m.function("main")->blocks[0].instrs[0].destVar = 9;
+  EXPECT_THROW(verify(m), Error);
+}
+
+TEST(Module, VerifyRejectsUnknownCallee) {
+  Module m = makeSimpleModule();
+  m.function("main")->blocks[0].instrs.push_back(Instr::call("nope"));
+  EXPECT_THROW(verify(m), Error);
+}
+
+TEST(Module, NumberCallSitesIsStableAndUnique) {
+  Module m;
+  Function* f = m.addFunction("main");
+  int b = f->addBlock("entry");
+  auto& instrs = f->blocks[static_cast<size_t>(b)].instrs;
+  instrs.push_back(Instr::mpi(MpiOp::Barrier, {}));
+  instrs.push_back(Instr::mpi(MpiOp::Allreduce, exprList(Expr::constant(8))));
+  Function* g = m.addFunction("helper");
+  int gb = g->addBlock("entry");
+  g->blocks[static_cast<size_t>(gb)].instrs.push_back(Instr::mpi(MpiOp::Barrier, {}));
+  m.numberCallSites();
+  EXPECT_EQ(instrs[0].callSiteId, 0);
+  EXPECT_EQ(instrs[1].callSiteId, 1);
+  EXPECT_EQ(g->blocks[0].instrs[0].callSiteId, 2);
+}
+
+TEST(Module, PrintContainsStructure) {
+  Module m = makeSimpleModule();
+  std::string s = print(m);
+  EXPECT_NE(s.find("func main"), std::string::npos);
+  EXPECT_NE(s.find("MPI_Barrier"), std::string::npos);
+  EXPECT_NE(s.find("ret"), std::string::npos);
+}
+
+TEST(MpiOpTraits, Classification) {
+  EXPECT_TRUE(isCollective(MpiOp::Bcast));
+  EXPECT_TRUE(isCollective(MpiOp::Barrier));
+  EXPECT_FALSE(isCollective(MpiOp::Send));
+  EXPECT_TRUE(isNonBlockingStart(MpiOp::Isend));
+  EXPECT_TRUE(isNonBlockingStart(MpiOp::Irecv));
+  EXPECT_FALSE(isNonBlockingStart(MpiOp::Wait));
+  EXPECT_STREQ(mpiOpName(MpiOp::Alltoall), "MPI_Alltoall");
+}
+
+}  // namespace
+}  // namespace cypress::ir

@@ -1,0 +1,244 @@
+#include "minic/compile.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minic/lexer.hpp"
+#include "minic/parser.hpp"
+#include "support/error.hpp"
+
+namespace cypress::minic {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndKeywords) {
+  auto toks = lex("func f() { var x = 1 <= 2 && 3 != 4; }");
+  std::vector<Tok> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds.front(), Tok::KwFunc);
+  EXPECT_EQ(kinds.back(), Tok::End);
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), Tok::Le), kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), Tok::AndAnd), kinds.end());
+  EXPECT_NE(std::find(kinds.begin(), kinds.end(), Tok::Ne), kinds.end());
+}
+
+TEST(Lexer, TracksLineNumbers) {
+  auto toks = lex("func f()\n{\n  var x = 1;\n}");
+  // 'var' is on line 3.
+  for (const auto& t : toks) {
+    if (t.kind == Tok::KwVar) {
+      EXPECT_EQ(t.line, 3);
+    }
+  }
+}
+
+TEST(Lexer, SkipsComments) {
+  auto toks = lex("// line comment\nfunc /* inline */ f() {}");
+  EXPECT_EQ(toks[0].kind, Tok::KwFunc);
+}
+
+TEST(Lexer, RejectsStrayAmpersand) {
+  EXPECT_THROW(lex("func f() { var x = 1 & 2; }"), Error);
+}
+
+TEST(Lexer, RejectsUnterminatedComment) {
+  EXPECT_THROW(lex("/* never closed"), Error);
+}
+
+TEST(Parser, ParsesElseIfChains) {
+  auto ast = parse(R"(
+    func main() {
+      if (rank == 0) { mpi_barrier(); }
+      else if (rank == 1) { mpi_barrier(); }
+      else { mpi_barrier(); }
+    })");
+  ASSERT_EQ(ast.functions.size(), 1u);
+  const AstStmt& ifs = *ast.functions[0].body[0];
+  EXPECT_EQ(ifs.kind, AstStmtKind::If);
+  ASSERT_EQ(ifs.elseBody.size(), 1u);
+  EXPECT_EQ(ifs.elseBody[0]->kind, AstStmtKind::If);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto ast = parse("func main() { var x = 1 + 2 * 3; }");
+  const AstExpr& e = *ast.functions[0].body[0]->expr;
+  ASSERT_EQ(e.kind, AstExprKind::Binary);
+  EXPECT_EQ(e.bop, ir::BinOp::Add);
+  EXPECT_EQ(e.rhs->bop, ir::BinOp::Mul);
+}
+
+TEST(Parser, SyntaxErrorsCarryPosition) {
+  try {
+    parse("func main() { var = 3; }");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("minic:1:"), std::string::npos);
+  }
+}
+
+TEST(Compile, SimpleProgramVerifies) {
+  auto m = compileProgram(R"(
+    func main() {
+      for (var i = 0; i < 10; i = i + 1) {
+        if (rank < size - 1) { mpi_send(rank + 1, 1024, 0); }
+        if (rank > 0) { mpi_recv(rank - 1, 1024, 0); }
+      }
+    })");
+  EXPECT_NE(m->function("main"), nullptr);
+}
+
+TEST(Compile, JacobiFromThePaperCompiles) {
+  // The paper's Figure 3 Jacobi skeleton.
+  auto m = compileProgram(R"(
+    func main() {
+      var steps = 100;
+      var n = 1024;
+      for (var k = 0; k < steps; k = k + 1) {
+        if (rank < size - 1) { mpi_send(rank + 1, n * 8, 0); }
+        if (rank > 0)        { mpi_recv(rank - 1, n * 8, 0); }
+        if (rank > 0)        { mpi_send(rank - 1, n * 8, 0); }
+        if (rank < size - 1) { mpi_recv(rank + 1, n * 8, 0); }
+      }
+    })");
+  int mpiCalls = 0;
+  for (const auto& b : m->function("main")->blocks)
+    for (const auto& i : b.instrs)
+      if (i.kind == ir::InstrKind::MpiCall) ++mpiCalls;
+  EXPECT_EQ(mpiCalls, 4);
+}
+
+TEST(Compile, NonBlockingRequestsLowered) {
+  auto m = compileProgram(R"(
+    func main() {
+      var r1 = mpi_isend(rank + 1, 64, 1);
+      var r2 = mpi_irecv(ANY_SOURCE, 64, 1);
+      mpi_wait(r1);
+      mpi_wait(r2);
+      mpi_waitall();
+    })");
+  const auto& instrs = m->function("main")->blocks[0].instrs;
+  ASSERT_GE(instrs.size(), 5u);
+  EXPECT_EQ(instrs[0].mpiOp, ir::MpiOp::Isend);
+  EXPECT_EQ(instrs[0].reqVar, 0);
+  EXPECT_EQ(instrs[1].mpiOp, ir::MpiOp::Irecv);
+  // ANY_SOURCE lowers to the sentinel constant.
+  EXPECT_EQ(instrs[1].args[0]->value, ir::kAnySource);
+  EXPECT_EQ(instrs[2].mpiOp, ir::MpiOp::Wait);
+  EXPECT_EQ(instrs[2].reqVar, 0);
+}
+
+TEST(Compile, UndeclaredVariableRejected) {
+  EXPECT_THROW(compileProgram("func main() { x = 3; }"), Error);
+}
+
+TEST(Compile, RedefinitionInSameScopeRejected) {
+  EXPECT_THROW(compileProgram("func main() { var x = 1; var x = 2; }"), Error);
+}
+
+TEST(Compile, ShadowingInNestedScopeAllowed) {
+  EXPECT_NO_THROW(compileProgram(R"(
+    func main() {
+      var x = 1;
+      if (x > 0) { var y = 2; y = y + x; }
+      { var y = 5; y = y + 1; }
+    })"));
+}
+
+TEST(Compile, ScopedVariableNotVisibleOutside) {
+  EXPECT_THROW(compileProgram(R"(
+    func main() {
+      if (rank == 0) { var y = 2; }
+      y = 3;
+    })"),
+               Error);
+}
+
+TEST(Compile, UnknownFunctionRejected) {
+  EXPECT_THROW(compileProgram("func main() { nothere(); }"), Error);
+}
+
+TEST(Compile, WrongIntrinsicArityRejected) {
+  EXPECT_THROW(compileProgram("func main() { mpi_send(1, 2); }"), Error);
+  EXPECT_THROW(compileProgram("func main() { mpi_barrier(1); }"), Error);
+}
+
+TEST(Compile, IsendOutsideAssignmentRejected) {
+  EXPECT_THROW(compileProgram("func main() { mpi_isend(1, 2, 3); }"), Error);
+  EXPECT_THROW(compileProgram("func main() { var x = 1 + mpi_isend(1, 2, 3); }"),
+               Error);
+}
+
+TEST(Compile, MainRequired) {
+  EXPECT_THROW(compileProgram("func helper() { mpi_barrier(); }"), Error);
+}
+
+TEST(Compile, FunctionArgumentsCheckedAndLowered) {
+  auto m = compileProgram(R"(
+    func halo(bytes) {
+      if (rank > 0) { mpi_send(rank - 1, bytes, 0); }
+    }
+    func main() { halo(4096); }
+  )");
+  const ir::Function* halo = m->function("halo");
+  ASSERT_NE(halo, nullptr);
+  EXPECT_EQ(halo->numParams, 1);
+  EXPECT_THROW(compileProgram(R"(
+    func halo(bytes) { mpi_barrier(); }
+    func main() { halo(); }
+  )"),
+               Error);
+}
+
+TEST(Compile, ReturnStopsLowering) {
+  auto m = compileProgram(R"(
+    func main() {
+      if (rank == 0) { return; }
+      mpi_barrier();
+      return;
+      mpi_barrier();
+    })");
+  // The barrier after the unconditional return is unreachable but the
+  // module still verifies.
+  EXPECT_NO_THROW(ir::verify(*m));
+}
+
+TEST(Compile, StatementsAfterReturnDoNotClobberTerminators) {
+  auto m = compileProgram(R"(
+    func main() {
+      return;
+      if (rank == 0) { mpi_barrier(); }
+    })");
+  // Entry block must still end in ret.
+  EXPECT_EQ(m->function("main")->blocks[0].term.kind, ir::TermKind::Ret);
+}
+
+TEST(Compile, CallSitesNumbered) {
+  auto m = compileProgram(R"(
+    func main() {
+      mpi_barrier();
+      mpi_allreduce(8);
+    })");
+  const auto& instrs = m->function("main")->blocks[0].instrs;
+  EXPECT_EQ(instrs[0].callSiteId, 0);
+  EXPECT_EQ(instrs[1].callSiteId, 1);
+}
+
+TEST(Compile, ForLoopLowersToNaturalLoopShape) {
+  auto m = compileProgram(R"(
+    func main() {
+      for (var i = 0; i < 5; i = i + 1) { mpi_barrier(); }
+    })");
+  const ir::Function& f = *m->function("main");
+  // entry, for.cond, for.body, for.exit
+  ASSERT_GE(f.blocks.size(), 4u);
+  // cond block has two successors.
+  bool foundCond = false;
+  for (const auto& b : f.blocks) {
+    if (b.term.kind == ir::TermKind::CondBr) {
+      foundCond = true;
+      EXPECT_EQ(b.successors().size(), 2u);
+    }
+  }
+  EXPECT_TRUE(foundCond);
+}
+
+}  // namespace
+}  // namespace cypress::minic

@@ -1,0 +1,220 @@
+// Engine unit tests driving simmpi::Engine directly (no VM): message
+// matching rules, request lifecycle errors, clock/timing invariants, and
+// misuse detection.
+#include <gtest/gtest.h>
+
+#include "simmpi/engine.hpp"
+#include "support/error.hpp"
+
+namespace cypress::simmpi {
+namespace {
+
+OpDesc send(int dst, int64_t bytes, int tag, int site = 0) {
+  OpDesc d;
+  d.op = ir::MpiOp::Send;
+  d.peer = dst;
+  d.bytes = bytes;
+  d.tag = tag;
+  d.callSiteId = site;
+  return d;
+}
+
+OpDesc recv(int src, int64_t bytes, int tag, int site = 1) {
+  OpDesc d;
+  d.op = ir::MpiOp::Recv;
+  d.peer = src;
+  d.bytes = bytes;
+  d.tag = tag;
+  d.callSiteId = site;
+  return d;
+}
+
+Engine makeEngine(int ranks, double jitter = 0.0) {
+  Engine::Config cfg;
+  cfg.numRanks = ranks;
+  cfg.jitter = jitter;
+  return Engine(cfg);
+}
+
+TEST(EngineUnit, EagerSendCompletesImmediately) {
+  Engine e = makeEngine(2);
+  EXPECT_EQ(e.execute(0, send(1, 1024, 0)), OpStatus::Complete);
+  EXPECT_GT(e.clockNs(0), 0u);
+  EXPECT_EQ(e.clockNs(1), 0u);  // receiver untouched
+}
+
+TEST(EngineUnit, RecvBlocksUntilMessageArrives) {
+  Engine e = makeEngine(2);
+  EXPECT_EQ(e.execute(1, recv(0, 64, 7)), OpStatus::Blocked);
+  EXPECT_EQ(e.poll(1), OpStatus::Blocked);
+  EXPECT_EQ(e.execute(0, send(1, 64, 7)), OpStatus::Complete);
+  EXPECT_EQ(e.poll(1), OpStatus::Complete);
+}
+
+TEST(EngineUnit, TagMismatchDoesNotMatch) {
+  Engine e = makeEngine(2);
+  EXPECT_EQ(e.execute(0, send(1, 64, 1)), OpStatus::Complete);
+  EXPECT_EQ(e.execute(1, recv(0, 64, 2)), OpStatus::Blocked);
+  EXPECT_EQ(e.poll(1), OpStatus::Blocked);
+  // The right tag arrives later and matches.
+  EXPECT_EQ(e.execute(0, send(1, 64, 2)), OpStatus::Complete);
+  EXPECT_EQ(e.poll(1), OpStatus::Complete);
+}
+
+TEST(EngineUnit, NonOvertakingSameTag) {
+  Engine e = makeEngine(2);
+  e.execute(0, send(1, 111, 0));
+  e.execute(0, send(1, 222, 0));
+  trace::RankTrace rt;
+  trace::RawRecorder rec(rt);
+  e.setObserver(1, &rec);
+  EXPECT_EQ(e.execute(1, recv(0, 111, 0)), OpStatus::Complete);
+  EXPECT_EQ(e.execute(1, recv(0, 222, 0)), OpStatus::Complete);
+  ASSERT_EQ(rt.events.size(), 2u);
+  EXPECT_EQ(rt.events[0].bytes, 111);
+  EXPECT_EQ(rt.events[1].bytes, 222);
+}
+
+TEST(EngineUnit, WildcardMatchesEarliestArrival) {
+  Engine e = makeEngine(3);
+  e.execute(2, send(0, 5, 9));
+  e.execute(1, send(0, 5, 9));
+  trace::RankTrace rt;
+  trace::RawRecorder rec(rt);
+  e.setObserver(0, &rec);
+  EXPECT_EQ(e.execute(0, recv(trace::kAnySource, 5, 9)), OpStatus::Complete);
+  ASSERT_EQ(rt.events.size(), 1u);
+  EXPECT_EQ(rt.events[0].matchedSource, 2);  // rank 2 sent first
+}
+
+TEST(EngineUnit, IssuingWhilePendingIsAnError) {
+  Engine e = makeEngine(2);
+  EXPECT_EQ(e.execute(1, recv(0, 64, 0)), OpStatus::Blocked);
+  EXPECT_THROW(e.execute(1, send(0, 8, 0)), Error);
+}
+
+TEST(EngineUnit, WaitOnConsumedRequestIsAnError) {
+  Engine e = makeEngine(2);
+  int64_t req = -1;
+  OpDesc d;
+  d.op = ir::MpiOp::Isend;
+  d.peer = 1;
+  d.bytes = 8;
+  d.tag = 0;
+  ASSERT_EQ(e.execute(0, d, &req), OpStatus::Complete);
+  OpDesc w;
+  w.op = ir::MpiOp::Wait;
+  w.waitReqId = req;
+  ASSERT_EQ(e.execute(0, w), OpStatus::Complete);
+  EXPECT_THROW(e.execute(0, w), Error);  // already consumed
+}
+
+TEST(EngineUnit, FinalizeWithOutstandingRequestIsAnError) {
+  Engine e = makeEngine(2);
+  int64_t req = -1;
+  OpDesc d;
+  d.op = ir::MpiOp::Irecv;
+  d.peer = 0;
+  d.bytes = 8;
+  d.tag = 0;
+  ASSERT_EQ(e.execute(1, d, &req), OpStatus::Complete);
+  EXPECT_THROW(e.finalizeRank(1), Error);
+}
+
+TEST(EngineUnit, PollWithoutPendingIsAnError) {
+  Engine e = makeEngine(1);
+  EXPECT_THROW(e.poll(0), Error);
+}
+
+TEST(EngineUnit, SendToInvalidRankIsAnError) {
+  Engine e = makeEngine(2);
+  EXPECT_THROW(e.execute(0, send(5, 8, 0)), Error);
+  EXPECT_THROW(e.execute(0, send(-1, 8, 0)), Error);
+}
+
+TEST(EngineUnit, ComputeAdvancesClockAndAccumulates) {
+  Engine e = makeEngine(1);
+  e.addCompute(0, 1000);
+  e.addCompute(0, 500);
+  EXPECT_EQ(e.clockNs(0), 1500u);
+  trace::RankTrace rt;
+  trace::RawRecorder rec(rt);
+  e.setObserver(0, &rec);
+  OpDesc b;
+  b.op = ir::MpiOp::Barrier;
+  EXPECT_EQ(e.execute(0, b), OpStatus::Complete);  // single-rank barrier
+  ASSERT_EQ(rt.events.size(), 1u);
+  EXPECT_EQ(rt.events[0].computeNs, 1500u);
+}
+
+TEST(EngineUnit, TransferTimeScalesWithBytes) {
+  Engine e = makeEngine(2);
+  e.execute(0, send(1, 1, 0));
+  const uint64_t small = e.clockNs(0);
+  Engine e2 = makeEngine(2);
+  e2.execute(0, send(1, 1 << 20, 0));
+  EXPECT_GT(e2.clockNs(0), small * 10);
+}
+
+TEST(EngineUnit, JitterIsDeterministicPerSeed) {
+  Engine a = makeEngine(2, 0.1);
+  Engine b = makeEngine(2, 0.1);
+  a.execute(0, send(1, 4096, 0));
+  b.execute(0, send(1, 4096, 0));
+  EXPECT_EQ(a.clockNs(0), b.clockNs(0));
+}
+
+TEST(EngineUnit, CollectiveDurationCoversWait) {
+  Engine e = makeEngine(2);
+  trace::RankTrace rt0;
+  trace::RawRecorder rec0(rt0);
+  e.setObserver(0, &rec0);
+  e.addCompute(1, 1000000);  // rank 1 arrives late
+  OpDesc b;
+  b.op = ir::MpiOp::Barrier;
+  ASSERT_EQ(e.execute(0, b), OpStatus::Blocked);
+  ASSERT_EQ(e.execute(1, b), OpStatus::Complete);
+  ASSERT_EQ(e.poll(0), OpStatus::Complete);
+  ASSERT_EQ(rt0.events.size(), 1u);
+  // Rank 0 waited for rank 1's compute inside the barrier.
+  EXPECT_GT(rt0.events[0].durationNs, 1000000u);
+  EXPECT_EQ(e.clockNs(0), e.clockNs(1));
+}
+
+TEST(EngineUnit, CommWorldMembers) {
+  Engine e = makeEngine(4);
+  EXPECT_EQ(e.commMembers(0).size(), 4u);
+  EXPECT_THROW(e.commMembers(7), Error);
+}
+
+TEST(EngineUnit, CommSplitAssignsDisjointGroups) {
+  Engine e = makeEngine(4);
+  auto split = [&](int rank) {
+    OpDesc d;
+    d.op = ir::MpiOp::CommSplit;
+    d.color = rank / 2;
+    d.key = rank;
+    return d;
+  };
+  EXPECT_EQ(e.execute(0, split(0)), OpStatus::Blocked);
+  EXPECT_EQ(e.execute(1, split(1)), OpStatus::Blocked);
+  EXPECT_EQ(e.execute(2, split(2)), OpStatus::Blocked);
+  EXPECT_EQ(e.execute(3, split(3)), OpStatus::Complete);
+  const int64_t c3 = e.takeOpResult(3);
+  EXPECT_EQ(e.poll(0), OpStatus::Complete);
+  const int64_t c0 = e.takeOpResult(0);
+  e.poll(1);
+  const int64_t c1 = e.takeOpResult(1);
+  e.poll(2);
+  const int64_t c2 = e.takeOpResult(2);
+  EXPECT_EQ(c0, c1);
+  EXPECT_EQ(c2, c3);
+  EXPECT_NE(c0, c2);
+  EXPECT_EQ(e.commMembers(static_cast<int>(c0)),
+            (std::vector<int>{0, 1}));
+  EXPECT_EQ(e.commMembers(static_cast<int>(c2)),
+            (std::vector<int>{2, 3}));
+}
+
+}  // namespace
+}  // namespace cypress::simmpi

@@ -1,0 +1,70 @@
+#include "support/rank_set.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cypress {
+namespace {
+
+TEST(RankSet, SingleRank) {
+  RankSet s(5);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.contains(5));
+  EXPECT_FALSE(s.contains(4));
+}
+
+TEST(RankSet, InsertKeepsSortedUnique) {
+  RankSet s;
+  s.insert(3);
+  s.insert(1);
+  s.insert(3);
+  s.insert(2);
+  EXPECT_EQ(s.ranks(), (std::vector<int32_t>{1, 2, 3}));
+}
+
+TEST(RankSet, UniteIsSetUnion) {
+  RankSet a = RankSet::range(0, 4);
+  RankSet b = RankSet::range(3, 7);
+  a.unite(b);
+  EXPECT_EQ(a.size(), 8u);
+  for (int r = 0; r <= 7; ++r) EXPECT_TRUE(a.contains(r));
+}
+
+TEST(RankSet, ContiguousRangeSerializesCompactly) {
+  RankSet s = RankSet::range(1, 510);  // the paper's "ranks 1..size-2"
+  ByteWriter w;
+  s.serialize(w);
+  EXPECT_LT(w.size(), 12u);
+  ByteReader r(w.bytes());
+  RankSet back = RankSet::deserialize(r);
+  EXPECT_EQ(back, s);
+}
+
+TEST(RankSet, StridedSetSerializesCompactly) {
+  RankSet s;
+  for (int r = 0; r < 512; r += 2) s.insert(r);  // even ranks
+  ByteWriter w;
+  s.serialize(w);
+  EXPECT_LT(w.size(), 12u);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(RankSet::deserialize(r), s);
+}
+
+TEST(RankSet, IrregularRoundTrip) {
+  RankSet s;
+  for (int r : {0, 3, 4, 5, 17, 100, 101, 400}) s.insert(r);
+  ByteWriter w;
+  s.serialize(w);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(RankSet::deserialize(r), s);
+}
+
+TEST(RankSet, EmptyRoundTrip) {
+  RankSet s;
+  ByteWriter w;
+  s.serialize(w);
+  ByteReader r(w.bytes());
+  EXPECT_TRUE(RankSet::deserialize(r).empty());
+}
+
+}  // namespace
+}  // namespace cypress

@@ -1,0 +1,119 @@
+#include "support/section_seq.hpp"
+
+#include <gtest/gtest.h>
+
+#include "support/rng.hpp"
+
+namespace cypress {
+namespace {
+
+TEST(SectionSeq, ConstantRunCompressesToOneSection) {
+  SectionSeq q;
+  for (int i = 0; i < 1000; ++i) q.append(7);
+  EXPECT_EQ(q.size(), 1000u);
+  ASSERT_EQ(q.sectionCount(), 1u);
+  EXPECT_EQ(q.sections()[0], (Section{7, 0, 1000}));
+  EXPECT_TRUE(q.isConstant(7));
+  EXPECT_FALSE(q.isConstant(8));
+}
+
+TEST(SectionSeq, AffineRunCompressesToOneSection) {
+  // The paper's <0, k-1, 1> tuple: iteration counts 0,1,2,...,k-1.
+  SectionSeq q;
+  for (int i = 0; i < 500; ++i) q.append(i);
+  ASSERT_EQ(q.sectionCount(), 1u);
+  EXPECT_EQ(q.sections()[0], (Section{0, 1, 500}));
+}
+
+TEST(SectionSeq, StrideTwoPattern) {
+  // Branch outcomes <0, 8, 2> from the paper's Figure 11.
+  SectionSeq q;
+  for (int i = 0; i <= 8; i += 2) q.append(i);
+  ASSERT_EQ(q.sectionCount(), 1u);
+  EXPECT_EQ(q.sections()[0], (Section{0, 2, 5}));
+  EXPECT_EQ(q.sections()[0].last(), 8);
+}
+
+TEST(SectionSeq, NegativeStride) {
+  SectionSeq q;
+  for (int i = 10; i >= 0; i -= 3) q.append(i);
+  ASSERT_EQ(q.sectionCount(), 1u);
+  EXPECT_EQ(q.sections()[0], (Section{10, -3, 4}));
+}
+
+TEST(SectionSeq, MixedContentSplitsSections) {
+  SectionSeq q;
+  for (int64_t v : {5, 5, 5, 0, 1, 2, 3, 9}) q.append(v);
+  EXPECT_EQ(q.size(), 8u);
+  EXPECT_LE(q.sectionCount(), 3u);
+  EXPECT_EQ(q.expand(), (std::vector<int64_t>{5, 5, 5, 0, 1, 2, 3, 9}));
+}
+
+TEST(SectionSeq, AtMatchesExpand) {
+  SectionSeq q;
+  std::vector<int64_t> vals = {1, 1, 2, 4, 6, 8, 3, 3, 3, -5};
+  for (auto v : vals) q.append(v);
+  for (size_t i = 0; i < vals.size(); ++i) EXPECT_EQ(q.at(i), vals[i]);
+  EXPECT_THROW(q.at(vals.size()), Error);
+}
+
+TEST(SectionSeq, CursorWalksAllValues) {
+  SectionSeq q;
+  for (int i = 0; i < 100; ++i) q.append(i % 7);
+  auto c = q.cursor();
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_FALSE(c.done());
+    EXPECT_EQ(c.next(), i % 7);
+  }
+  EXPECT_TRUE(c.done());
+  EXPECT_THROW(c.next(), Error);
+}
+
+TEST(SectionSeq, AppendRunMergesConstantTail) {
+  SectionSeq q;
+  q.appendRun(3, 10);
+  q.appendRun(3, 5);
+  ASSERT_EQ(q.sectionCount(), 1u);
+  EXPECT_EQ(q.size(), 15u);
+  q.appendRun(4, 2);
+  EXPECT_EQ(q.size(), 17u);
+  EXPECT_EQ(q.at(15), 4);
+}
+
+TEST(SectionSeq, PropertyRandomSequencesRoundTrip) {
+  // Lossless on arbitrary content, including pathological switches.
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    Rng rng(seed);
+    std::vector<int64_t> vals;
+    const int n = static_cast<int>(rng.range(0, 300));
+    for (int i = 0; i < n; ++i) {
+      // Mixture: constants, ramps, noise.
+      switch (rng.below(3)) {
+        case 0: vals.push_back(rng.range(-5, 5)); break;
+        case 1: vals.push_back(i); break;
+        default: vals.push_back(rng.range(-1000000, 1000000)); break;
+      }
+    }
+    SectionSeq q = SectionSeq::compress(vals);
+    EXPECT_EQ(q.size(), vals.size());
+    EXPECT_EQ(q.expand(), vals) << "seed " << seed;
+
+    ByteWriter w;
+    q.serialize(w);
+    ByteReader r(w.bytes());
+    SectionSeq back = SectionSeq::deserialize(r);
+    EXPECT_EQ(back, q) << "seed " << seed;
+    EXPECT_EQ(back.expand(), vals) << "seed " << seed;
+  }
+}
+
+TEST(SectionSeq, SerializedSizeIsCompactForRegularData) {
+  SectionSeq q;
+  for (int i = 0; i < 100000; ++i) q.append(42);
+  ByteWriter w;
+  q.serialize(w);
+  EXPECT_LT(w.size(), 16u);  // one section: tiny regardless of run length
+}
+
+}  // namespace
+}  // namespace cypress

@@ -1,0 +1,100 @@
+// Tests for the OTF-style text trace format: lossless round trips and
+// error handling on malformed input.
+#include "trace/otf_text.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minic/compile.hpp"
+#include "simmpi/engine.hpp"
+#include "support/error.hpp"
+#include "trace/observer.hpp"
+#include "vm/runner.hpp"
+
+namespace cypress::trace {
+namespace {
+
+RawTrace runRaw(const std::string& src, int ranks) {
+  auto m = minic::compileProgram(src);
+  simmpi::Engine::Config cfg;
+  cfg.numRanks = ranks;
+  simmpi::Engine engine(cfg);
+  RawTrace out;
+  out.ranks.resize(static_cast<size_t>(ranks));
+  std::vector<std::unique_ptr<RawRecorder>> recs;
+  std::vector<Observer*> obs;
+  for (int r = 0; r < ranks; ++r) {
+    out.ranks[static_cast<size_t>(r)].rank = r;
+    recs.push_back(std::make_unique<RawRecorder>(out.ranks[static_cast<size_t>(r)]));
+    obs.push_back(recs.back().get());
+  }
+  vm::run(*m, engine, obs);
+  return out;
+}
+
+TEST(OtfText, RoundTripsAllOpKinds) {
+  RawTrace t = runRaw(R"(
+    func main() {
+      var c = mpi_comm_split(rank / 2, rank);
+      var a = mpi_isend((rank + 1) % size, 128, 3);
+      var b = mpi_irecv(ANY_SOURCE, 128, 3);
+      mpi_waitsome();
+      mpi_waitall();
+      mpi_allreduce_c(c, 16);
+      mpi_bcast(0, 64);
+      mpi_reduce(0, 8);
+      mpi_allgather(32);
+      mpi_alltoall(24);
+      mpi_barrier();
+      compute(5000);
+      mpi_send((rank + 1) % size, 9, 1);
+      mpi_recv((rank + size - 1) % size, 9, 1);
+    })", 4);
+  const std::string text = toOtfText(t);
+  RawTrace back = fromOtfText(text);
+  ASSERT_EQ(back.ranks.size(), t.ranks.size());
+  for (size_t r = 0; r < t.ranks.size(); ++r) {
+    EXPECT_EQ(back.ranks[r].rank, t.ranks[r].rank);
+    EXPECT_EQ(back.ranks[r].events, t.ranks[r].events);
+  }
+}
+
+TEST(OtfText, EmptyTrace) {
+  RawTrace t;
+  RawTrace back = fromOtfText(toOtfText(t));
+  EXPECT_TRUE(back.ranks.empty());
+}
+
+TEST(OtfText, IsGreppableText) {
+  RawTrace t = runRaw("func main() { mpi_barrier(); }", 2);
+  const std::string text = toOtfText(t);
+  EXPECT_NE(text.find("RANK 0"), std::string::npos);
+  EXPECT_NE(text.find("E BARRIER"), std::string::npos);
+}
+
+TEST(OtfText, RejectsBadHeader) {
+  EXPECT_THROW(fromOtfText("NOPE"), Error);
+}
+
+TEST(OtfText, RejectsEventBeforeRank) {
+  EXPECT_THROW(fromOtfText("OTFX 1\nE BARRIER peer=0 bytes=0 tag=0 comm=0 "
+                           "site=0 req=-1 match=-1 compute=0 dur=0\n"),
+               Error);
+}
+
+TEST(OtfText, RejectsUnknownOp) {
+  EXPECT_THROW(fromOtfText("OTFX 1\nRANK 0 1\nE FROB peer=0 bytes=0 tag=0 "
+                           "comm=0 site=0 req=-1 match=-1 compute=0 dur=0\n"),
+               Error);
+}
+
+TEST(OtfText, ReportsLineNumbers) {
+  try {
+    fromOtfText("OTFX 1\nRANK 0 1\ngarbage line\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("otf:3"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cypress::trace

@@ -1,0 +1,91 @@
+// Tests for trace statistics.
+#include "trace/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "minic/compile.hpp"
+#include "simmpi/engine.hpp"
+#include "trace/observer.hpp"
+#include "vm/runner.hpp"
+
+namespace cypress::trace {
+namespace {
+
+RawTrace runRaw(const std::string& src, int ranks) {
+  auto m = minic::compileProgram(src);
+  simmpi::Engine::Config cfg;
+  cfg.numRanks = ranks;
+  simmpi::Engine engine(cfg);
+  RawTrace out;
+  out.ranks.resize(static_cast<size_t>(ranks));
+  std::vector<std::unique_ptr<RawRecorder>> recs;
+  std::vector<Observer*> obs;
+  for (int r = 0; r < ranks; ++r) {
+    out.ranks[static_cast<size_t>(r)].rank = r;
+    recs.push_back(std::make_unique<RawRecorder>(out.ranks[static_cast<size_t>(r)]));
+    obs.push_back(recs.back().get());
+  }
+  vm::run(*m, engine, obs);
+  return out;
+}
+
+TEST(TraceStats, CountsByCategory) {
+  RawTrace t = runRaw(R"(
+    func main() {
+      for (var i = 0; i < 4; i = i + 1) {
+        mpi_send((rank + 1) % size, 1000, 0);
+        mpi_recv((rank + size - 1) % size, 1000, 0);
+      }
+      mpi_allreduce(64);
+      mpi_barrier();
+    })", 3);
+  TraceStats s = computeStats(t);
+  EXPECT_EQ(s.totalEvents, 3u * 10u);
+  EXPECT_EQ(s.p2pMessages, 3u * 4u);
+  EXPECT_EQ(s.p2pBytes, 3u * 4u * 1000u);
+  EXPECT_EQ(s.collectiveCalls, 3u * 2u);
+  EXPECT_EQ(s.byOp.at(ir::MpiOp::Send).count, 12u);
+  EXPECT_EQ(s.byOp.at(ir::MpiOp::Barrier).count, 3u);
+  ASSERT_EQ(s.messageSizes.size(), 1u);
+  EXPECT_EQ(s.messageSizes.at(1000), 12u);
+}
+
+TEST(TraceStats, RankBalance) {
+  RawTrace t = runRaw(R"(
+    func main() {
+      for (var i = 0; i < rank; i = i + 1) { mpi_send(0, 8, 0); }
+      if (rank == 0) {
+        for (var k = 0; k < (size - 1) * size / 2; k = k + 1) {
+          mpi_recv(ANY_SOURCE, 8, 0);
+        }
+      }
+    })", 4);
+  TraceStats s = computeStats(t);
+  EXPECT_EQ(s.minRankEvents, 1u);  // rank 1 sends once
+  EXPECT_EQ(s.maxRankEvents, 6u);  // rank 0 receives 6
+  EXPECT_GT(s.avgRankEvents, 1.0);
+}
+
+TEST(TraceStats, TimeSplitAndRendering) {
+  RawTrace t = runRaw(R"(
+    func main() {
+      compute(500000);
+      mpi_allreduce(128);
+    })", 2);
+  TraceStats s = computeStats(t);
+  EXPECT_GT(s.computeNs, 0u);
+  EXPECT_GT(s.commNs, 0u);
+  const std::string str = s.toString();
+  EXPECT_NE(str.find("MPI_Allreduce"), std::string::npos);
+  EXPECT_NE(str.find("communication"), std::string::npos);
+}
+
+TEST(TraceStats, EmptyTrace) {
+  RawTrace t;
+  TraceStats s = computeStats(t);
+  EXPECT_EQ(s.totalEvents, 0u);
+  EXPECT_FALSE(s.toString().empty());
+}
+
+}  // namespace
+}  // namespace cypress::trace

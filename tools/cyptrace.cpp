@@ -1,0 +1,269 @@
+// cyptrace — command-line front end for the CYPRESS tracing pipeline.
+//
+//   cyptrace run  <workload|file.mc> --procs N [--scale S] [--out F.cyp]
+//       Trace a built-in workload (BT, CG, ..., LESLIE3D) or a MiniC
+//       source file with CYPRESS and write the merged compressed trace.
+//   cyptrace info <F.cyp>
+//       Show the embedded CST and per-tool statistics of a trace file.
+//   cyptrace dump <F.cyp> --rank R [--limit N] [--otf]
+//       Decompress one rank's event sequence (or the whole trace as
+//       OTF-style text with --otf).
+//   cyptrace replay <F.cyp> [--net ib|eth]
+//       Predict execution time by SIM-MPI replay under a LogGP model.
+//   cyptrace compare <workload> --procs N [--scale S]
+//       Run all tools side by side and print sizes/overheads.
+//   cyptrace stats <F.cyp>
+//       Decompress and print trace statistics + the comm-volume matrix.
+//   cyptrace diff <A.cyp> <B.cyp>
+//       Structural diff of two compressed traces of the same program.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cypress/decompress.hpp"
+#include "cypress/diff.hpp"
+#include "driver/pipeline.hpp"
+#include "flate/flate.hpp"
+#include "replay/simulator.hpp"
+#include "support/strings.hpp"
+#include "trace/matrix.hpp"
+#include "trace/otf_text.hpp"
+#include "trace/stats.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cypress;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string target;
+  std::string target2;
+  int procs = 16;
+  int scale = 1;
+  int rank = 0;
+  int limit = 20;
+  bool otf = false;
+  std::string out;
+  std::string net = "ib";
+};
+
+[[noreturn]] void usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  cyptrace run <workload|file.mc> --procs N [--scale S] [--out F.cyp]\n"
+               "  cyptrace info <F.cyp>\n"
+               "  cyptrace dump <F.cyp> [--rank R] [--limit N] [--otf]\n"
+               "  cyptrace replay <F.cyp> [--net ib|eth]\n"
+               "  cyptrace compare <workload> --procs N [--scale S]\n"
+               "  cyptrace stats <F.cyp>\n"
+               "  cyptrace diff <A.cyp> <B.cyp>\n"
+               "workloads: ");
+  for (const auto& n : workloads::allNames()) std::fprintf(stderr, "%s ", n.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(2);
+}
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc < 3) usage();
+  a.command = argv[1];
+  a.target = argv[2];
+  int firstFlag = 3;
+  if (a.command == "diff") {
+    if (argc < 4) usage();
+    a.target2 = argv[3];
+    firstFlag = 4;
+  }
+  for (int i = firstFlag; i < argc; ++i) {
+    const std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (flag == "--procs") a.procs = std::stoi(value());
+    else if (flag == "--scale") a.scale = std::stoi(value());
+    else if (flag == "--rank") a.rank = std::stoi(value());
+    else if (flag == "--limit") a.limit = std::stoi(value());
+    else if (flag == "--out") a.out = value();
+    else if (flag == "--net") a.net = value();
+    else if (flag == "--otf") a.otf = true;
+    else usage();
+  }
+  return a;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  CYP_CHECK(in.good(), "cannot open " << path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void writeFile(const std::string& path, std::span<const uint8_t> bytes) {
+  std::ofstream out(path, std::ios::binary);
+  CYP_CHECK(out.good(), "cannot open " << path << " for writing");
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+std::vector<uint8_t> readBytes(const std::string& path) {
+  const std::string s = readFile(path);
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+driver::RunOutput runTarget(const Args& a, bool allTools) {
+  driver::Options opts;
+  opts.procs = a.procs;
+  opts.scale = a.scale;
+  opts.withScala = allTools;
+  opts.withScala2 = allTools;
+  if (a.target.size() > 3 &&
+      a.target.compare(a.target.size() - 3, 3, ".mc") == 0) {
+    return driver::runSource(a.target, readFile(a.target), opts);
+  }
+  return driver::runWorkload(a.target, opts);
+}
+
+int cmdRun(const Args& a) {
+  driver::RunOutput run = runTarget(a, /*allTools=*/false);
+  core::MergedCtt merged = driver::mergeCypress(run);
+  const auto bytes = merged.serialize();
+  const std::string out = a.out.empty() ? a.target + ".cyp" : a.out;
+  writeFile(out, bytes);
+  std::printf("traced %s on %d ranks: %zu events -> %s (%s)\n", a.target.c_str(),
+              a.procs, run.raw.totalEvents(), out.c_str(),
+              humanBytes(bytes.size()).c_str());
+  return 0;
+}
+
+int cmdInfo(const Args& a) {
+  const auto bytes = readBytes(a.target);
+  cst::Tree tree;
+  core::MergedCtt merged = core::MergedCtt::deserializeWithTree(bytes, tree);
+  std::printf("%s: %s, CST with %d vertices\n", a.target.c_str(),
+              humanBytes(bytes.size()).c_str(), tree.numNodes());
+  // Rank universe = union of all rank sets.
+  RankSet all;
+  size_t entries = 0;
+  for (int g = 0; g < tree.numNodes(); ++g) {
+    for (const auto& e : merged.leafEntries(g)) {
+      all.unite(e.ranks);
+      ++entries;
+    }
+    entries += merged.loopEntries(g).size() + merged.takenEntries(g).size();
+  }
+  std::printf("%zu merged payload entries covering %zu ranks\n", entries,
+              all.size());
+  std::printf("\n%s", tree.toString().c_str());
+  return 0;
+}
+
+int cmdDump(const Args& a) {
+  const auto bytes = readBytes(a.target);
+  cst::Tree tree;
+  core::MergedCtt merged = core::MergedCtt::deserializeWithTree(bytes, tree);
+  RankSet all;
+  for (int g = 0; g < tree.numNodes(); ++g)
+    for (const auto& e : merged.leafEntries(g)) all.unite(e.ranks);
+  const int numRanks = all.empty() ? 0 : all.ranks().back() + 1;
+  if (a.otf) {
+    trace::RawTrace t = core::decompressAll(merged, numRanks);
+    std::fputs(trace::toOtfText(t).c_str(), stdout);
+    return 0;
+  }
+  auto events = core::decompressRank(merged, a.rank);
+  std::printf("rank %d: %zu events\n", a.rank, events.size());
+  for (size_t i = 0; i < events.size() && static_cast<int>(i) < a.limit; ++i)
+    std::printf("  %zu: %s\n", i, events[i].toString().c_str());
+  if (static_cast<int>(events.size()) > a.limit)
+    std::printf("  ... (%zu more; raise --limit)\n", events.size() - a.limit);
+  return 0;
+}
+
+int cmdReplay(const Args& a) {
+  const auto bytes = readBytes(a.target);
+  cst::Tree tree;
+  core::MergedCtt merged = core::MergedCtt::deserializeWithTree(bytes, tree);
+  RankSet all;
+  for (int g = 0; g < tree.numNodes(); ++g)
+    for (const auto& e : merged.leafEntries(g)) all.unite(e.ranks);
+  const int numRanks = all.empty() ? 0 : all.ranks().back() + 1;
+  trace::RawTrace t = core::decompressAll(merged, numRanks);
+  const simmpi::LogGP net =
+      a.net == "eth" ? simmpi::LogGP::ethernet() : simmpi::LogGP::infiniband();
+  replay::Prediction p = replay::simulate(t, net);
+  std::printf("replayed %llu events on %d ranks (%s)\n",
+              static_cast<unsigned long long>(p.totalEvents), numRanks,
+              a.net == "eth" ? "ethernet model" : "InfiniBand model");
+  std::printf("predicted execution time: %.3f ms, communication share %.2f%%\n",
+              static_cast<double>(p.predictedNs) / 1e6, p.commPercent());
+  return 0;
+}
+
+int cmdStats(const Args& a) {
+  const auto bytes = readBytes(a.target);
+  cst::Tree tree;
+  core::MergedCtt merged = core::MergedCtt::deserializeWithTree(bytes, tree);
+  RankSet all;
+  for (int g = 0; g < tree.numNodes(); ++g)
+    for (const auto& e : merged.leafEntries(g)) all.unite(e.ranks);
+  const int numRanks = all.empty() ? 0 : all.ranks().back() + 1;
+  trace::RawTrace t = core::decompressAll(merged, numRanks);
+  trace::TraceStats st = trace::computeStats(t);
+  std::printf("%s (%d ranks, trace file %s)\n\n%s\n", a.target.c_str(), numRanks,
+              humanBytes(bytes.size()).c_str(), st.toString().c_str());
+  std::printf("communication volume heat map:\n%s", 
+              trace::renderMatrix(trace::commMatrix(t), 32).c_str());
+  return 0;
+}
+
+int cmdDiff(const Args& a) {
+  cst::Tree ta, tb;
+  core::MergedCtt ma = core::MergedCtt::deserializeWithTree(readBytes(a.target), ta);
+  core::MergedCtt mb =
+      core::MergedCtt::deserializeWithTree(readBytes(a.target2), tb);
+  core::TraceDiff d = core::diffTraces(ma, mb);
+  std::fputs(d.toString().c_str(), stdout);
+  return d.identical() ? 0 : 1;
+}
+
+int cmdCompare(const Args& a) {
+  driver::RunOutput run = runTarget(a, /*allTools=*/true);
+  driver::SizeReport rep = driver::computeSizes(run);
+  std::printf("%s, %d ranks, %zu events\n", a.target.c_str(), a.procs,
+              run.raw.totalEvents());
+  std::printf("  raw          %12s\n", humanBytes(rep.rawBytes).c_str());
+  std::printf("  gzip         %12s\n", humanBytes(rep.gzipBytes).c_str());
+  std::printf("  scalatrace   %12s  (merge %.3f ms)\n",
+              humanBytes(rep.scalaBytes).c_str(), rep.scalaInterSeconds * 1e3);
+  std::printf("  scalatrace2  %12s  (merge %.3f ms)\n",
+              humanBytes(rep.scala2Bytes).c_str(), rep.scala2InterSeconds * 1e3);
+  std::printf("  cypress      %12s  (merge %.3f ms)\n",
+              humanBytes(rep.cypressBytes).c_str(), rep.cypressInterSeconds * 1e3);
+  std::printf("  cypress+gz   %12s\n", humanBytes(rep.cypressGzipBytes).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args a = parse(argc, argv);
+    if (a.command == "run") return cmdRun(a);
+    if (a.command == "info") return cmdInfo(a);
+    if (a.command == "dump") return cmdDump(a);
+    if (a.command == "replay") return cmdReplay(a);
+    if (a.command == "compare") return cmdCompare(a);
+    if (a.command == "stats") return cmdStats(a);
+    if (a.command == "diff") return cmdDiff(a);
+    usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cyptrace: %s\n", e.what());
+    return 1;
+  }
+}
