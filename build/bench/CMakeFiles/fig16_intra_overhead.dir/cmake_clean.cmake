@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_intra_overhead.dir/fig16_intra_overhead.cpp.o"
+  "CMakeFiles/fig16_intra_overhead.dir/fig16_intra_overhead.cpp.o.d"
+  "fig16_intra_overhead"
+  "fig16_intra_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_intra_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_comm_patterns.dir/fig17_comm_patterns.cpp.o"
+  "CMakeFiles/fig17_comm_patterns.dir/fig17_comm_patterns.cpp.o.d"
+  "fig17_comm_patterns"
+  "fig17_comm_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_comm_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_leslie_sizes.dir/fig19_leslie_sizes.cpp.o"
+  "CMakeFiles/fig19_leslie_sizes.dir/fig19_leslie_sizes.cpp.o.d"
+  "fig19_leslie_sizes"
+  "fig19_leslie_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_leslie_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig20_leslie_patterns.dir/fig20_leslie_patterns.cpp.o"
+  "CMakeFiles/fig20_leslie_patterns.dir/fig20_leslie_patterns.cpp.o.d"
+  "fig20_leslie_patterns"
+  "fig20_leslie_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_leslie_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig20_leslie_patterns.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig20_leslie_patterns.
+# This may be replaced when dependencies are built.

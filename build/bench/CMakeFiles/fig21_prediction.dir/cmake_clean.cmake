@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_prediction.dir/fig21_prediction.cpp.o"
+  "CMakeFiles/fig21_prediction.dir/fig21_prediction.cpp.o.d"
+  "fig21_prediction"
+  "fig21_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

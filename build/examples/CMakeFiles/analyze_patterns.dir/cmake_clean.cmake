@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_patterns.dir/analyze_patterns.cpp.o"
+  "CMakeFiles/analyze_patterns.dir/analyze_patterns.cpp.o.d"
+  "analyze_patterns"
+  "analyze_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

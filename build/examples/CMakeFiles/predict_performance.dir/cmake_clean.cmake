@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/predict_performance.dir/predict_performance.cpp.o"
+  "CMakeFiles/predict_performance.dir/predict_performance.cpp.o.d"
+  "predict_performance"
+  "predict_performance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/predict_performance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("flate")
+subdirs("ir")
+subdirs("analysis")
+subdirs("minic")
+subdirs("cst")
+subdirs("simmpi")
+subdirs("vm")
+subdirs("trace")
+subdirs("cypress")
+subdirs("scalatrace")
+subdirs("replay")
+subdirs("workloads")
+subdirs("driver")

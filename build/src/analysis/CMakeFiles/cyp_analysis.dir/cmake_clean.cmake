@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyp_analysis.dir/callgraph.cpp.o"
+  "CMakeFiles/cyp_analysis.dir/callgraph.cpp.o.d"
+  "CMakeFiles/cyp_analysis.dir/dominators.cpp.o"
+  "CMakeFiles/cyp_analysis.dir/dominators.cpp.o.d"
+  "CMakeFiles/cyp_analysis.dir/loops.cpp.o"
+  "CMakeFiles/cyp_analysis.dir/loops.cpp.o.d"
+  "libcyp_analysis.a"
+  "libcyp_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyp_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

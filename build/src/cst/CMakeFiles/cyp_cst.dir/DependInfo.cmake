@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cst/builder.cpp" "src/cst/CMakeFiles/cyp_cst.dir/builder.cpp.o" "gcc" "src/cst/CMakeFiles/cyp_cst.dir/builder.cpp.o.d"
+  "/root/repo/src/cst/tree.cpp" "src/cst/CMakeFiles/cyp_cst.dir/tree.cpp.o" "gcc" "src/cst/CMakeFiles/cyp_cst.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/cyp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cyp_analysis.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

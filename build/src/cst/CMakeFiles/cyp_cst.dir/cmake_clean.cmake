@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyp_cst.dir/builder.cpp.o"
+  "CMakeFiles/cyp_cst.dir/builder.cpp.o.d"
+  "CMakeFiles/cyp_cst.dir/tree.cpp.o"
+  "CMakeFiles/cyp_cst.dir/tree.cpp.o.d"
+  "libcyp_cst.a"
+  "libcyp_cst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyp_cst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cyp_cst.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyp_core.dir/ctt.cpp.o"
+  "CMakeFiles/cyp_core.dir/ctt.cpp.o.d"
+  "CMakeFiles/cyp_core.dir/decompress.cpp.o"
+  "CMakeFiles/cyp_core.dir/decompress.cpp.o.d"
+  "CMakeFiles/cyp_core.dir/diff.cpp.o"
+  "CMakeFiles/cyp_core.dir/diff.cpp.o.d"
+  "CMakeFiles/cyp_core.dir/merge.cpp.o"
+  "CMakeFiles/cyp_core.dir/merge.cpp.o.d"
+  "libcyp_core.a"
+  "libcyp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyp_driver.dir/pipeline.cpp.o"
+  "CMakeFiles/cyp_driver.dir/pipeline.cpp.o.d"
+  "libcyp_driver.a"
+  "libcyp_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyp_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

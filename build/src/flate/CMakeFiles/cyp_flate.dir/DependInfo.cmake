@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/flate/flate.cpp" "src/flate/CMakeFiles/cyp_flate.dir/flate.cpp.o" "gcc" "src/flate/CMakeFiles/cyp_flate.dir/flate.cpp.o.d"
+  "/root/repo/src/flate/huffman.cpp" "src/flate/CMakeFiles/cyp_flate.dir/huffman.cpp.o" "gcc" "src/flate/CMakeFiles/cyp_flate.dir/huffman.cpp.o.d"
+  "/root/repo/src/flate/lz77.cpp" "src/flate/CMakeFiles/cyp_flate.dir/lz77.cpp.o" "gcc" "src/flate/CMakeFiles/cyp_flate.dir/lz77.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

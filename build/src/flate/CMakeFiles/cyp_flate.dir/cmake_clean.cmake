@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyp_flate.dir/flate.cpp.o"
+  "CMakeFiles/cyp_flate.dir/flate.cpp.o.d"
+  "CMakeFiles/cyp_flate.dir/huffman.cpp.o"
+  "CMakeFiles/cyp_flate.dir/huffman.cpp.o.d"
+  "CMakeFiles/cyp_flate.dir/lz77.cpp.o"
+  "CMakeFiles/cyp_flate.dir/lz77.cpp.o.d"
+  "libcyp_flate.a"
+  "libcyp_flate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyp_flate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyp_ir.dir/builder.cpp.o"
+  "CMakeFiles/cyp_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/cyp_ir.dir/expr.cpp.o"
+  "CMakeFiles/cyp_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/cyp_ir.dir/ir.cpp.o"
+  "CMakeFiles/cyp_ir.dir/ir.cpp.o.d"
+  "libcyp_ir.a"
+  "libcyp_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyp_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyp_minic.dir/compile.cpp.o"
+  "CMakeFiles/cyp_minic.dir/compile.cpp.o.d"
+  "CMakeFiles/cyp_minic.dir/lexer.cpp.o"
+  "CMakeFiles/cyp_minic.dir/lexer.cpp.o.d"
+  "CMakeFiles/cyp_minic.dir/parser.cpp.o"
+  "CMakeFiles/cyp_minic.dir/parser.cpp.o.d"
+  "libcyp_minic.a"
+  "libcyp_minic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyp_minic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyp_replay.dir/simulator.cpp.o"
+  "CMakeFiles/cyp_replay.dir/simulator.cpp.o.d"
+  "libcyp_replay.a"
+  "libcyp_replay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyp_replay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

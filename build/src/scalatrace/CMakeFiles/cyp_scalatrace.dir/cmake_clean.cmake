@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyp_scalatrace.dir/element.cpp.o"
+  "CMakeFiles/cyp_scalatrace.dir/element.cpp.o.d"
+  "CMakeFiles/cyp_scalatrace.dir/inter.cpp.o"
+  "CMakeFiles/cyp_scalatrace.dir/inter.cpp.o.d"
+  "CMakeFiles/cyp_scalatrace.dir/recorder.cpp.o"
+  "CMakeFiles/cyp_scalatrace.dir/recorder.cpp.o.d"
+  "libcyp_scalatrace.a"
+  "libcyp_scalatrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyp_scalatrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

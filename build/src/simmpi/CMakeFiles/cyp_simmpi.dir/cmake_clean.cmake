@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyp_simmpi.dir/engine.cpp.o"
+  "CMakeFiles/cyp_simmpi.dir/engine.cpp.o.d"
+  "libcyp_simmpi.a"
+  "libcyp_simmpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyp_simmpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

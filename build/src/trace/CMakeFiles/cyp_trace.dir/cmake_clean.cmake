@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyp_trace.dir/event.cpp.o"
+  "CMakeFiles/cyp_trace.dir/event.cpp.o.d"
+  "CMakeFiles/cyp_trace.dir/matrix.cpp.o"
+  "CMakeFiles/cyp_trace.dir/matrix.cpp.o.d"
+  "CMakeFiles/cyp_trace.dir/otf_text.cpp.o"
+  "CMakeFiles/cyp_trace.dir/otf_text.cpp.o.d"
+  "CMakeFiles/cyp_trace.dir/stats.cpp.o"
+  "CMakeFiles/cyp_trace.dir/stats.cpp.o.d"
+  "libcyp_trace.a"
+  "libcyp_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyp_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

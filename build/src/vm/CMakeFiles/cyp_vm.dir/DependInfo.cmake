@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/runner.cpp" "src/vm/CMakeFiles/cyp_vm.dir/runner.cpp.o" "gcc" "src/vm/CMakeFiles/cyp_vm.dir/runner.cpp.o.d"
+  "/root/repo/src/vm/vm.cpp" "src/vm/CMakeFiles/cyp_vm.dir/vm.cpp.o" "gcc" "src/vm/CMakeFiles/cyp_vm.dir/vm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simmpi/CMakeFiles/cyp_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cyp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cyp_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyp_vm.dir/runner.cpp.o"
+  "CMakeFiles/cyp_vm.dir/runner.cpp.o.d"
+  "CMakeFiles/cyp_vm.dir/vm.cpp.o"
+  "CMakeFiles/cyp_vm.dir/vm.cpp.o.d"
+  "libcyp_vm.a"
+  "libcyp_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyp_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

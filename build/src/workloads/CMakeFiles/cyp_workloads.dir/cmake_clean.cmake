@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyp_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/cyp_workloads.dir/workloads.cpp.o.d"
+  "libcyp_workloads.a"
+  "libcyp_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cst_edge_test.dir/cst/cst_edge_test.cpp.o"
+  "CMakeFiles/cst_edge_test.dir/cst/cst_edge_test.cpp.o.d"
+  "cst_edge_test"
+  "cst_edge_test.pdb"
+  "cst_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cst_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cypress_core_test.dir/cypress/ctt_test.cpp.o"
+  "CMakeFiles/cypress_core_test.dir/cypress/ctt_test.cpp.o.d"
+  "cypress_core_test"
+  "cypress_core_test.pdb"
+  "cypress_core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cypress_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

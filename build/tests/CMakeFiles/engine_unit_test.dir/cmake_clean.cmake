@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_unit_test.dir/simmpi/engine_unit_test.cpp.o"
+  "CMakeFiles/engine_unit_test.dir/simmpi/engine_unit_test.cpp.o.d"
+  "engine_unit_test"
+  "engine_unit_test.pdb"
+  "engine_unit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_unit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/otf_test.dir/trace/otf_test.cpp.o"
+  "CMakeFiles/otf_test.dir/trace/otf_test.cpp.o.d"
+  "otf_test"
+  "otf_test.pdb"
+  "otf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/otf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scalatrace_test.dir/scalatrace/scalatrace_test.cpp.o"
+  "CMakeFiles/scalatrace_test.dir/scalatrace/scalatrace_test.cpp.o.d"
+  "scalatrace_test"
+  "scalatrace_test.pdb"
+  "scalatrace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scalatrace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyptrace.dir/cyptrace.cpp.o"
+  "CMakeFiles/cyptrace.dir/cyptrace.cpp.o.d"
+  "cyptrace"
+  "cyptrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyptrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
