@@ -16,5 +16,6 @@ subdirs("trace")
 subdirs("cypress")
 subdirs("scalatrace")
 subdirs("replay")
+subdirs("verify")
 subdirs("workloads")
 subdirs("driver")

@@ -20,9 +20,10 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/workloads/CMakeFiles/cyp_workloads.dir/DependInfo.cmake"
   "/root/repo/build/src/flate/CMakeFiles/cyp_flate.dir/DependInfo.cmake"
   "/root/repo/build/src/replay/CMakeFiles/cyp_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/cyp_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/cyp_simmpi.dir/DependInfo.cmake"
   "/root/repo/build/src/cst/CMakeFiles/cyp_cst.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/cyp_analysis.dir/DependInfo.cmake"
-  "/root/repo/build/src/simmpi/CMakeFiles/cyp_simmpi.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/cyp_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/ir/CMakeFiles/cyp_ir.dir/DependInfo.cmake"
   )

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cyp_verify.dir/fuzz.cpp.o"
+  "CMakeFiles/cyp_verify.dir/fuzz.cpp.o.d"
+  "CMakeFiles/cyp_verify.dir/roundtrip.cpp.o"
+  "CMakeFiles/cyp_verify.dir/roundtrip.cpp.o.d"
+  "libcyp_verify.a"
+  "libcyp_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cyp_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -25,3 +25,4 @@ include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/otf_test[1]_include.cmake")
 include("/root/repo/build/tests/stats_test[1]_include.cmake")
 include("/root/repo/build/tests/diff_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_test[1]_include.cmake")

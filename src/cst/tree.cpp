@@ -1,6 +1,7 @@
 #include "cst/tree.hpp"
 
 #include <cctype>
+#include <cstdint>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -104,8 +105,16 @@ void writeText(const Node& n, std::ostringstream& os) {
 }
 
 struct TextParser {
+  /// Nesting bound: legitimate CSTs are as deep as the program's loop
+  /// and call structure; a parenthesis bomb in a corrupt stream would
+  /// otherwise recurse until the stack overflows. 256 is far above any
+  /// real program and shallow enough to be safe even under sanitizer
+  /// builds with oversized stack frames.
+  static constexpr int kMaxDepth = 256;
+
   const std::string& s;
   size_t pos = 0;
+  int depth = 0;
 
   char peek() const { return pos < s.size() ? s[pos] : '\0'; }
   void expect(char c) {
@@ -120,7 +129,11 @@ struct TextParser {
     }
     CYP_CHECK(isdigit(static_cast<unsigned char>(peek())), "CST text: bad int at " << pos);
     int64_t v = 0;
-    while (isdigit(static_cast<unsigned char>(peek()))) v = v * 10 + (s[pos++] - '0');
+    while (isdigit(static_cast<unsigned char>(peek()))) {
+      const int64_t d = s[pos++] - '0';
+      CYP_CHECK(v <= (INT64_MAX - d) / 10, "CST text: integer overflow at " << pos);
+      v = v * 10 + d;
+    }
     return neg ? -v : v;
   }
   void skipSpace() {
@@ -137,9 +150,14 @@ struct TextParser {
   }
 
   std::unique_ptr<Node> node() {
+    CYP_CHECK(depth < kMaxDepth, "CST text: nesting deeper than " << kMaxDepth);
+    ++depth;
     expect('(');
     auto n = std::make_unique<Node>();
-    n->kind = static_cast<NodeKind>(integer());
+    const int64_t kind = integer();
+    CYP_CHECK(kind >= 0 && kind <= static_cast<int64_t>(NodeKind::Comm),
+              "CST text: bad node kind " << kind << " at " << pos);
+    n->kind = static_cast<NodeKind>(kind);
     skipSpace();
     n->structId = static_cast<int>(integer());
     skipSpace();
@@ -147,7 +165,10 @@ struct TextParser {
     skipSpace();
     n->callSiteId = static_cast<int>(integer());
     skipSpace();
-    n->op = static_cast<ir::MpiOp>(integer());
+    const int64_t op = integer();
+    CYP_CHECK(op >= 0 && op <= 255 && ir::isValidMpiOp(static_cast<uint8_t>(op)),
+              "CST text: bad op " << op << " at " << pos);
+    n->op = static_cast<ir::MpiOp>(op);
     skipSpace();
     n->callInstrId = static_cast<int>(integer());
     skipSpace();
@@ -157,6 +178,7 @@ struct TextParser {
     n->label = untilPipe();
     while (peek() == '(') n->addChild(node());
     expect(')');
+    --depth;
     return n;
   }
 };
@@ -188,6 +210,7 @@ Tree Tree::fromText(const std::string& text) {
   TextParser p{text, 5};
   Tree t;
   t.reset(p.node());
+  CYP_CHECK(p.pos == text.size(), "CST text: trailing bytes at " << p.pos);
   return t;
 }
 

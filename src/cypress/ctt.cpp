@@ -53,7 +53,8 @@ Ctt Ctt::deserialize(std::span<const uint8_t> data, const cst::Tree& cst) {
     c.loopCounts_[g] = SectionSeq::deserialize(r);
     c.taken_[g] = SectionSeq::deserialize(r);
     c.leafExec_[g] = SectionSeq::deserialize(r);
-    const uint64_t nr = r.uv();
+    const uint64_t nr = r.checkedCount(r.uv(), CommRecord::kMinSerializedBytes);
+    r.chargeAlloc(nr * sizeof(CommRecord));
     c.records_[g].reserve(nr);
     for (uint64_t k = 0; k < nr; ++k)
       c.records_[g].push_back(CommRecord::deserialize(r));

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cstddef>
 #include <thread>
 
 #include "flate/flate.hpp"
@@ -40,6 +41,24 @@ void MergedCtt::absorbEntries(std::vector<Entry>& mine,
       }
     }
     if (!merged) mine.push_back(std::move(e));
+  }
+  // mergeStats can widen an entry's timing statistics enough that two
+  // entries already in `mine` become mergeable; coalesce to a fixpoint
+  // so the merged tree is independent of absorb order (and therefore of
+  // the reduction shape / thread count in mergeAll).
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (size_t i = 0; i < mine.size(); ++i) {
+      for (size_t j = i + 1; j < mine.size(); ++j) {
+        if (!same(mine[i], mine[j])) continue;
+        mine[i].ranks.unite(mine[j].ranks);
+        mergeStats(mine[i], mine[j]);
+        mine.erase(mine.begin() + static_cast<std::ptrdiff_t>(j));
+        --j;
+        changed = true;
+      }
+    }
   }
 }
 
@@ -151,7 +170,11 @@ void writeSeqEntries(ByteWriter& w, const std::vector<SeqEntry>& entries) {
 }
 
 std::vector<SeqEntry> readSeqEntries(ByteReader& r) {
-  std::vector<SeqEntry> out(r.uv());
+  // Each entry is at least 2 bytes (empty sequence + empty rank set);
+  // validate the count before constructing a single element.
+  const uint64_t n = r.checkedCount(r.uv(), 2);
+  r.chargeAlloc(n * sizeof(SeqEntry));
+  std::vector<SeqEntry> out(n);
   for (auto& e : out) {
     e.seq = SectionSeq::deserialize(r);
     e.ranks = RankSet::deserialize(r);
@@ -200,10 +223,15 @@ MergedCtt MergedCtt::deserialize(std::span<const uint8_t> data,
   for (uint64_t g = 0; g < n; ++g) {
     m.loops_[g] = readSeqEntries(r);
     m.taken_[g] = readSeqEntries(r);
-    const uint64_t nl = r.uv();
+    // A leaf entry is at least 3 bytes: record count, empty exec
+    // ordinals, empty rank set.
+    const uint64_t nl = r.checkedCount(r.uv(), 3);
+    r.chargeAlloc(nl * sizeof(LeafEntry));
     m.leaves_[g].resize(nl);
     for (auto& e : m.leaves_[g]) {
-      const uint64_t nr = r.uv();
+      const uint64_t nr =
+          r.checkedCount(r.uv(), CommRecord::kMinSerializedBytes);
+      r.chargeAlloc(nr * sizeof(CommRecord));
       e.records.reserve(nr);
       for (uint64_t k = 0; k < nr; ++k)
         e.records.push_back(CommRecord::deserialize(r));
@@ -211,6 +239,7 @@ MergedCtt MergedCtt::deserialize(std::span<const uint8_t> data,
       e.ranks = RankSet::deserialize(r);
     }
   }
+  CYP_CHECK(r.atEnd(), "cypress trace: trailing bytes");
   return m;
 }
 

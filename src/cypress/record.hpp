@@ -55,7 +55,10 @@ struct PeerRef {
   }
   static PeerRef deserialize(ByteReader& r) {
     PeerRef p;
-    p.kind = static_cast<Kind>(r.u8());
+    const uint8_t kind = r.u8();
+    CYP_CHECK(kind <= static_cast<uint8_t>(Kind::Relative),
+              "bad peer-ref kind " << int(kind));
+    p.kind = static_cast<Kind>(kind);
     p.value = static_cast<int32_t>(r.sv());
     return p;
   }
@@ -154,9 +157,17 @@ struct CommRecord {
     durationHist.serialize(w);
   }
 
+  /// Minimum serialized size of one record: op byte, 2-byte PeerRef,
+  /// five 1-byte varints, 1-byte count, two 1-byte empty sequences, two
+  /// 1-byte empty stats, 2-byte empty histogram. Used by callers to
+  /// validate record-count prefixes.
+  static constexpr size_t kMinSerializedBytes = 15;
+
   static CommRecord deserialize(ByteReader& r) {
     CommRecord c;
-    c.op = static_cast<ir::MpiOp>(r.u8());
+    const uint8_t op = r.u8();
+    CYP_CHECK(ir::isValidMpiOp(op), "comm record: bad op byte " << int(op));
+    c.op = static_cast<ir::MpiOp>(op);
     c.peer = PeerRef::deserialize(r);
     c.bytes = r.sv();
     c.tag = static_cast<int32_t>(r.sv());

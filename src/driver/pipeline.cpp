@@ -105,6 +105,13 @@ RunOutput runSource(const std::string& name, const std::string& source,
   Stopwatch w;
   out.runStats = vm::run(*out.module, engine, obs, 1ull << 34);
   out.tracedWallSeconds = w.seconds();
+
+  if (opts.verifyRoundtrip) {
+    const verify::Report rep = verifyRun(out);
+    CYP_CHECK(rep.ok(),
+              "roundtrip verification failed for " << name << ":\n"
+                                                   << rep.toString());
+  }
   return out;
 }
 
@@ -120,6 +127,19 @@ core::MergedCtt mergeCypress(const RunOutput& run, CostMeter* cost) {
   ctts.reserve(run.cypress.size());
   for (const auto& r : run.cypress) ctts.push_back(&r->ctt());
   return core::mergeAll(std::move(ctts), cost);
+}
+
+verify::Report verifyRun(const RunOutput& run) {
+  verify::Artifacts a;
+  std::optional<core::MergedCtt> merged;
+  if (!run.cypress.empty()) {
+    merged.emplace(mergeCypress(run));
+    a.merged = &*merged;
+  }
+  if (!run.raw.ranks.empty()) a.raw = &run.raw;
+  for (const auto& r : run.scala) a.scalaV1.push_back(&r->sequence());
+  for (const auto& r : run.scala2) a.scalaV2.push_back(&r->sequence());
+  return verify::verifyRoundtrip(a);
 }
 
 SizeReport computeSizes(const RunOutput& run) {

@@ -21,6 +21,7 @@
 #include "scalatrace/recorder.hpp"
 #include "simmpi/engine.hpp"
 #include "trace/event.hpp"
+#include "verify/roundtrip.hpp"
 #include "vm/runner.hpp"
 
 namespace cypress::driver {
@@ -37,6 +38,10 @@ struct Options {
   /// Also run once with no observers to obtain the untraced baseline
   /// wall time (needed for overhead percentages).
   bool measureBaseline = false;
+  /// After the run, roundtrip-verify every produced trace (serialize →
+  /// deserialize → re-serialize byte stability, plus decompression
+  /// against the raw trace when recorded) and throw on any mismatch.
+  bool verifyRoundtrip = false;
 };
 
 /// Everything produced by one traced run.
@@ -99,5 +104,8 @@ SizeReport computeSizes(const RunOutput& run);
 
 /// Merge the CYPRESS CTTs of a run (exposed for decompression/replay).
 core::MergedCtt mergeCypress(const RunOutput& run, CostMeter* cost = nullptr);
+
+/// Roundtrip-verify every trace a run produced (see verify/roundtrip.hpp).
+verify::Report verifyRun(const RunOutput& run);
 
 }  // namespace cypress::driver

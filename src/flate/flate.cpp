@@ -1,5 +1,6 @@
 #include "flate/flate.hpp"
 
+#include <algorithm>
 #include <array>
 #include <cstring>
 
@@ -158,14 +159,25 @@ std::vector<uint8_t> decompress(std::span<const uint8_t> data) {
   const uint32_t crc = r.u32fixed();
 
   std::vector<uint8_t> out;
-  out.reserve(originalSize);
   if (originalSize > 0) {
     const uint8_t kind = r.u8();
     if (kind == 0) {
+      // Stored block: the payload IS the original, so a size prefix that
+      // disagrees with the bytes actually present is corrupt — and must
+      // not become an allocation.
+      CYP_CHECK(originalSize == r.remaining(),
+                "flate: stored block has " << r.remaining()
+                                           << " bytes but header claims "
+                                           << originalSize);
       auto raw = r.raw(originalSize);
       out.assign(raw.begin(), raw.end());
     } else {
       CYP_CHECK(kind == 1, "flate: unknown block kind " << int(kind));
+      // The size prefix is untrusted until the stream proves it: cap the
+      // speculative reserve and let push_back grow past it if the data
+      // really is that large. Every emit below is bounded by
+      // originalSize, so corrupt streams cannot balloon the output.
+      out.reserve(std::min<uint64_t>(originalSize, 1u << 20));
       const auto litLens = readLengths(r, kNumLitLen);
       const auto distLens = readLengths(r, kNumDist);
       HuffmanDecoder litDec(litLens), distDec(distLens);
@@ -175,6 +187,8 @@ std::vector<uint8_t> decompress(std::span<const uint8_t> data) {
         const int sym = litDec.decode(br);
         if (sym == kEob) break;
         if (sym < 256) {
+          CYP_CHECK(out.size() < originalSize,
+                    "flate: output exceeds declared size " << originalSize);
           out.push_back(static_cast<uint8_t>(sym));
           continue;
         }
@@ -187,6 +201,8 @@ std::vector<uint8_t> decompress(std::span<const uint8_t> data) {
         uint32_t dist = kDistBase[ds];
         if (kDistExtra[ds]) dist += br.get(kDistExtra[ds]);
         CYP_CHECK(dist <= out.size(), "flate: back-reference before start");
+        CYP_CHECK(len <= originalSize - out.size(),
+                  "flate: output exceeds declared size " << originalSize);
         size_t from = out.size() - dist;
         for (uint32_t i = 0; i < len; ++i) out.push_back(out[from + i]);
       }

@@ -75,11 +75,15 @@ std::vector<Token> tokenize(std::span<const uint8_t> data, int maxChain) {
   };
 
   while (pos < data.size()) {
-    insertUpTo(pos + 1);
+    // Only positions strictly before `pos` go into the dictionary before
+    // the lookup: inserting `pos` itself would put it at the head of its
+    // own hash chain, and find() would burn its first chain step skipping
+    // the self-hit before reaching a real candidate.
+    insertUpTo(pos);
     auto [len, dist] = m.find(pos);
     if (len >= kMinMatch && pos + 1 < data.size()) {
       // One-step lazy matching: prefer a strictly longer match at pos+1.
-      insertUpTo(pos + 2);
+      insertUpTo(pos + 1);
       auto [len2, dist2] = m.find(pos + 1);
       if (len2 > len) {
         out.push_back(Token{0, 0, data[pos]});

@@ -43,6 +43,11 @@ enum class MpiOp : uint8_t {
 
 const char* mpiOpName(MpiOp op);
 
+/// True when `raw` encodes a valid MpiOp (deserializer validation).
+inline bool isValidMpiOp(uint8_t raw) {
+  return raw <= static_cast<uint8_t>(MpiOp::CommSplit);
+}
+
 /// True for ops that create a request handle.
 inline bool isNonBlockingStart(MpiOp op) {
   return op == MpiOp::Isend || op == MpiOp::Irecv;

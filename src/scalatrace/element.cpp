@@ -159,20 +159,38 @@ void Element::serialize(ByteWriter& w) const {
   compute.serialize(w);
 }
 
-Element Element::deserialize(ByteReader& r) {
+namespace {
+
+/// Defense against RSD nesting bombs: real traces nest as deep as the
+/// program's loop structure (single digits); a serialized stream deeper
+/// than this is corrupt and would otherwise risk stack exhaustion.
+constexpr int kMaxRsdDepth = 256;
+
+Element deserializeElement(ByteReader& r, int depth) {
+  CYP_CHECK(depth < kMaxRsdDepth, "scalatrace: RSD nesting deeper than "
+                                      << kMaxRsdDepth);
   Element el;
   el.isRsd = r.u8() != 0;
   if (el.isRsd) {
     el.closedVisits = SectionSeq::deserialize(r);
-    const uint64_t n = r.uv();
+    // A member is at least 3 bytes (RSD flag + empty visit sequence +
+    // zero member count).
+    const uint64_t n = r.checkedCount(r.uv(), 3);
+    r.chargeAlloc(n * sizeof(Element));
     el.members.reserve(n);
-    for (uint64_t i = 0; i < n; ++i) el.members.push_back(deserialize(r));
+    for (uint64_t i = 0; i < n; ++i)
+      el.members.push_back(deserializeElement(r, depth + 1));
     return el;
   }
-  el.op = static_cast<ir::MpiOp>(r.u8());
+  const uint8_t op = r.u8();
+  CYP_CHECK(ir::isValidMpiOp(op), "scalatrace: bad op byte " << int(op));
+  el.op = static_cast<ir::MpiOp>(op);
   el.callSiteId = static_cast<int32_t>(r.sv());
   el.comm = static_cast<int32_t>(r.sv());
-  el.peerKind = static_cast<PeerRef::Kind>(r.u8());
+  const uint8_t peerKind = r.u8();
+  CYP_CHECK(peerKind <= static_cast<uint8_t>(PeerRef::Kind::Relative),
+            "scalatrace: bad peer-ref kind " << int(peerKind));
+  el.peerKind = static_cast<PeerRef::Kind>(peerKind);
   el.occurrences = r.uv();
   el.peerVals = SectionSeq::deserialize(r);
   el.bytesVals = SectionSeq::deserialize(r);
@@ -182,6 +200,12 @@ Element Element::deserialize(ByteReader& r) {
   el.duration = RunningStats::deserialize(r);
   el.compute = RunningStats::deserialize(r);
   return el;
+}
+
+}  // namespace
+
+Element Element::deserialize(ByteReader& r) {
+  return deserializeElement(r, 0);
 }
 
 size_t Element::memoryBytes() const {

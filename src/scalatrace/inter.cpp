@@ -153,6 +153,43 @@ std::vector<uint8_t> MergedSeq::serialize() const {
   return w.take();
 }
 
+MergedSeq MergedSeq::deserialize(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  CYP_CHECK(r.str() == "STM1", "merged scalatrace trace: bad magic");
+  const uint8_t flavorByte = r.u8();
+  CYP_CHECK(flavorByte == 1 || flavorByte == 2,
+            "merged scalatrace trace: bad flavor byte " << int(flavorByte));
+  MergedSeq m;
+  m.flavor = flavorByte == 1 ? Flavor::V1 : Flavor::V2;
+  // An element is at least 4 bytes: non-RSD flag, op, two varints, ...
+  // plus the rank set — 3 is a safe floor.
+  const uint64_t n = r.checkedCount(r.uv(), 3);
+  r.chargeAlloc(n * sizeof(MElement));
+  m.elems.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    MElement e;
+    e.elem = Element::deserialize(r);
+    e.ranks = RankSet::deserialize(r);
+    if (m.flavor == Flavor::V2) {
+      const SectionSeq counts = SectionSeq::deserialize(r);
+      const std::vector<int32_t> ranks = e.ranks.ranks();
+      CYP_CHECK(counts.size() == ranks.size(),
+                "merged scalatrace trace: per-rank count vector has "
+                    << counts.size() << " entries for " << ranks.size()
+                    << " ranks");
+      auto cur = counts.cursor();
+      for (int32_t rk : ranks) {
+        const int64_t v = cur.next();
+        CYP_CHECK(v >= 0, "merged scalatrace trace: negative event count");
+        e.countByRank[rk] = static_cast<uint64_t>(v);
+      }
+    }
+    m.elems.push_back(std::move(e));
+  }
+  CYP_CHECK(r.atEnd(), "merged scalatrace trace: trailing bytes");
+  return m;
+}
+
 size_t MergedSeq::memoryBytes() const {
   size_t t = sizeof(*this) + elems.capacity() * sizeof(MElement);
   for (const MElement& e : elems) {

@@ -37,6 +37,9 @@ struct MergedSeq {
   std::vector<MElement> elems;
 
   std::vector<uint8_t> serialize() const;
+  /// Parse a merged trace (`STM1`). Throws cypress::Error on malformed
+  /// input.
+  static MergedSeq deserialize(std::span<const uint8_t> data);
   size_t memoryBytes() const;
 };
 

@@ -106,11 +106,29 @@ size_t Recorder::memoryBytes() const {
 
 std::vector<uint8_t> Recorder::serialize() const {
   CYP_CHECK(finalized_, "serialize before finalize");
+  return serializeSequence(seq_);
+}
+
+std::vector<uint8_t> Recorder::serializeSequence(
+    const std::vector<Element>& seq) {
   ByteWriter w;
   w.str("STR1");
-  w.uv(seq_.size());
-  for (const Element& e : seq_) e.serialize(w);
+  w.uv(seq.size());
+  for (const Element& e : seq) e.serialize(w);
   return w.take();
+}
+
+std::vector<Element> Recorder::deserializeSequence(
+    std::span<const uint8_t> data) {
+  ByteReader r(data);
+  CYP_CHECK(r.str() == "STR1", "scalatrace trace: bad magic");
+  const uint64_t n = r.checkedCount(r.uv(), 3);
+  r.chargeAlloc(n * sizeof(Element));
+  std::vector<Element> out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) out.push_back(Element::deserialize(r));
+  CYP_CHECK(r.atEnd(), "scalatrace trace: trailing bytes");
+  return out;
 }
 
 }  // namespace cypress::scalatrace

@@ -47,6 +47,13 @@ class Recorder final : public trace::Observer {
   /// Serialized per-process compressed trace (for size accounting).
   std::vector<uint8_t> serialize() const;
 
+  /// Serialize a bare element sequence in the same `STR1` format.
+  static std::vector<uint8_t> serializeSequence(const std::vector<Element>& seq);
+
+  /// Parse a per-process compressed trace (`STR1`) back into its element
+  /// sequence. Throws cypress::Error on malformed input.
+  static std::vector<Element> deserializeSequence(std::span<const uint8_t> data);
+
  private:
   void tryCompress(bool final);
 

@@ -73,9 +73,21 @@ class ByteWriter {
 };
 
 /// Sequential reader over a byte span; throws cypress::Error on underflow.
+///
+/// Deserializers of untrusted input must validate every length prefix
+/// before allocating: `checkedCount()` rejects counts that imply more
+/// serialized bytes than remain in the buffer, and `chargeAlloc()`
+/// draws from a configurable allocation budget so that even a
+/// pathological-but-consistent input cannot force multi-gigabyte
+/// allocations before the first payload byte is read.
 class ByteReader {
  public:
-  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+  /// Default cumulative cap on count-driven allocations (64 MiB).
+  static constexpr size_t kDefaultAllocBudget = 64u << 20;
+
+  explicit ByteReader(std::span<const uint8_t> data,
+                      size_t allocBudget = kDefaultAllocBudget)
+      : data_(data), allocBudget_(allocBudget) {}
 
   uint8_t u8() {
     need(1);
@@ -140,14 +152,43 @@ class ByteReader {
   size_t pos() const { return pos_; }
   size_t remaining() const { return data_.size() - pos_; }
 
+  /// Validate an untrusted element count `n` whose elements each occupy
+  /// at least `perItemFloor` serialized bytes. Rejects any count that
+  /// implies more bytes than remain, so `n` is safe to use as an
+  /// allocation size hint afterwards.
+  uint64_t checkedCount(uint64_t n, size_t perItemFloor) const {
+    CYP_CHECK(perItemFloor == 0 ||
+                  n <= remaining() / static_cast<uint64_t>(perItemFloor),
+              "count " << n << " x " << perItemFloor
+                       << "B implies more than the " << remaining()
+                       << " bytes remaining");
+    return n;
+  }
+
+  /// Draw `bytes` of deserializer allocation from the budget; throws
+  /// once the cumulative total exceeds it. Counts validated through
+  /// checkedCount() are already input-bounded; this is the backstop for
+  /// allocations whose size is a multiple of a count (vectors of large
+  /// structs, expanded sequences).
+  void chargeAlloc(size_t bytes) {
+    CYP_CHECK(bytes <= allocBudget_,
+              "allocation of " << bytes << " bytes exceeds the reader's "
+                               << "remaining budget of " << allocBudget_);
+    allocBudget_ -= bytes;
+  }
+  size_t allocBudget() const { return allocBudget_; }
+
  private:
   void need(uint64_t n) const {
-    CYP_CHECK(pos_ + n <= data_.size(),
+    // pos_ <= data_.size() always holds, so the subtraction cannot wrap;
+    // the naive `pos_ + n <= size` form overflows for huge varint n.
+    CYP_CHECK(n <= data_.size() - pos_,
               "buffer underflow: need " << n << " at " << pos_ << "/" << data_.size());
   }
 
   std::span<const uint8_t> data_;
   size_t pos_ = 0;
+  size_t allocBudget_;
 };
 
 }  // namespace cypress

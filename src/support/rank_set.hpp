@@ -17,6 +17,10 @@ namespace cypress {
 
 class RankSet {
  public:
+  /// Cap on deserialized set sizes (4M ranks ≈ 16 MiB expanded) — far
+  /// above any simulated job, far below an OOM.
+  static constexpr uint64_t kMaxSerializedRanks = 1u << 22;
+
   RankSet() = default;
   explicit RankSet(int32_t rank) : ranks_{rank} {}
 
@@ -58,10 +62,19 @@ class RankSet {
 
   static RankSet deserialize(ByteReader& r) {
     SectionSeq seq = SectionSeq::deserialize(r);
+    // The stride sections are tiny on disk but expand to one int32 per
+    // rank; bound the logical size before materializing so a corrupt
+    // (start, stride, hugeCount) tuple cannot demand gigabytes.
+    CYP_CHECK(seq.size() <= kMaxSerializedRanks,
+              "rank set: implausible member count " << seq.size());
+    r.chargeAlloc(seq.size() * (sizeof(int64_t) + sizeof(int32_t)));
     RankSet s;
     auto vals = seq.expand();
     s.ranks_.reserve(vals.size());
-    for (int64_t v : vals) s.ranks_.push_back(static_cast<int32_t>(v));
+    for (int64_t v : vals) {
+      CYP_CHECK(v >= 0 && v <= INT32_MAX, "rank set: rank " << v << " out of range");
+      s.ranks_.push_back(static_cast<int32_t>(v));
+    }
     CYP_CHECK(std::is_sorted(s.ranks_.begin(), s.ranks_.end()), "rank set not sorted");
     return s;
   }

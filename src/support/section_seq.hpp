@@ -177,7 +177,10 @@ class SectionSeq {
 
   static SectionSeq deserialize(ByteReader& r) {
     SectionSeq q;
-    uint64_t n = r.uv();
+    // Each serialized section is at least 3 bytes (sv start, sv stride,
+    // uv count), so a count implying more is corrupt.
+    const uint64_t n = r.checkedCount(r.uv(), 3);
+    r.chargeAlloc(n * sizeof(Section));
     q.segs_.reserve(n);
     for (uint64_t i = 0; i < n; ++i) {
       Section s;
@@ -185,6 +188,8 @@ class SectionSeq {
       s.stride = r.sv();
       s.count = r.uv();
       CYP_CHECK(s.count > 0, "empty serialized section");
+      CYP_CHECK(s.count <= UINT64_MAX - q.total_,
+                "section sequence length overflows");
       q.segs_.push_back(s);
       q.total_ += s.count;
     }

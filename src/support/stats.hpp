@@ -152,7 +152,10 @@ class LogHistogram {
   static LogHistogram deserialize(ByteReader& r) {
     LogHistogram h;
     h.n_ = r.uv();
-    uint64_t nz = r.uv();
+    const uint64_t nz = r.checkedCount(r.uv(), 2);
+    CYP_CHECK(nz <= static_cast<uint64_t>(kBuckets),
+              "histogram has " << nz << " sparse entries for " << kBuckets
+                               << " buckets");
     for (uint64_t k = 0; k < nz; ++k) {
       uint64_t i = r.uv();
       CYP_CHECK(i < kBuckets, "bad histogram bucket index " << i);

@@ -33,7 +33,9 @@ void serializeEvent(const Event& e, ByteWriter& w) {
 
 Event deserializeEvent(ByteReader& r) {
   Event e;
-  e.op = static_cast<ir::MpiOp>(r.u8());
+  const uint8_t op = r.u8();
+  CYP_CHECK(ir::isValidMpiOp(op), "raw trace: bad op byte " << int(op));
+  e.op = static_cast<ir::MpiOp>(op);
   e.peer = static_cast<int32_t>(r.sv());
   e.bytes = r.sv();
   e.tag = static_cast<int32_t>(r.sv());
@@ -68,14 +70,20 @@ RawTrace RawTrace::deserialize(std::span<const uint8_t> data) {
   ByteReader r(data);
   CYP_CHECK(r.str() == "CYTR", "raw trace: bad magic");
   RawTrace t;
-  const uint64_t n = r.uv();
+  // Per rank: sv rank + uv eventCount = 2 bytes minimum.
+  const uint64_t n = r.checkedCount(r.uv(), 2);
+  r.chargeAlloc(n * sizeof(RankTrace));
   t.ranks.resize(n);
   for (uint64_t i = 0; i < n; ++i) {
     t.ranks[i].rank = static_cast<int32_t>(r.sv());
-    const uint64_t ne = r.uv();
+    // A serialized event is at least 10 bytes (u8 op + 7 varints + 2
+    // varint times, one byte each).
+    const uint64_t ne = r.checkedCount(r.uv(), 10);
+    r.chargeAlloc(ne * sizeof(Event));
     t.ranks[i].events.reserve(ne);
     for (uint64_t k = 0; k < ne; ++k) t.ranks[i].events.push_back(deserializeEvent(r));
   }
+  CYP_CHECK(r.atEnd(), "raw trace: trailing bytes");
   return t;
 }
 

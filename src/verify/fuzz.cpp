@@ -1,0 +1,95 @@
+#include "verify/fuzz.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace cypress::verify {
+
+namespace {
+
+std::vector<uint8_t> mutate(std::span<const uint8_t> good, Rng& rng,
+                            size_t maxGrow) {
+  std::vector<uint8_t> m(good.begin(), good.end());
+  switch (rng.below(6)) {
+    case 0: {  // single bit flip
+      if (m.empty()) break;
+      m[rng.below(m.size())] ^= static_cast<uint8_t>(1u << rng.below(8));
+      break;
+    }
+    case 1: {  // byte overwrite
+      if (m.empty()) break;
+      m[rng.below(m.size())] = static_cast<uint8_t>(rng.below(256));
+      break;
+    }
+    case 2: {  // truncate to a strict prefix
+      m.resize(rng.below(m.size() + 1));
+      break;
+    }
+    case 3: {  // remove a slice
+      if (m.empty()) break;
+      const size_t at = rng.below(m.size());
+      const size_t len = 1 + rng.below(std::min<size_t>(m.size() - at, 32));
+      m.erase(m.begin() + static_cast<std::ptrdiff_t>(at),
+              m.begin() + static_cast<std::ptrdiff_t>(at + len));
+      break;
+    }
+    case 4: {  // duplicate a slice in place
+      if (m.empty()) break;
+      const size_t at = rng.below(m.size());
+      const size_t len = 1 + rng.below(std::min<size_t>(m.size() - at, 32));
+      const std::vector<uint8_t> slice(
+          m.begin() + static_cast<std::ptrdiff_t>(at),
+          m.begin() + static_cast<std::ptrdiff_t>(at + len));
+      m.insert(m.begin() + static_cast<std::ptrdiff_t>(at), slice.begin(),
+               slice.end());
+      break;
+    }
+    default: {  // insert random bytes
+      const size_t at = rng.below(m.size() + 1);
+      const size_t len = 1 + rng.below(maxGrow ? maxGrow : 1);
+      std::vector<uint8_t> junk(len);
+      for (auto& b : junk) b = static_cast<uint8_t>(rng.below(256));
+      m.insert(m.begin() + static_cast<std::ptrdiff_t>(at), junk.begin(),
+               junk.end());
+      break;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string FuzzReport::toString() const {
+  std::ostringstream os;
+  os << mutants << " mutants: " << rejected << " rejected, " << accepted
+     << " accepted, " << failures.size() << " failures";
+  for (const auto& f : failures)
+    os << "\n  mutant " << f.index << ": " << f.what;
+  return os.str();
+}
+
+FuzzReport corruptionFuzz(std::span<const uint8_t> good, const Decoder& decode,
+                          const FuzzOptions& opts) {
+  Rng rng(opts.seed);
+  FuzzReport rep;
+  for (int i = 0; i < opts.mutations; ++i) {
+    const auto mutant = mutate(good, rng, opts.maxGrow);
+    ++rep.mutants;
+    try {
+      decode(mutant);
+      ++rep.accepted;  // the mutation happened to stay well-formed
+    } catch (const Error&) {
+      ++rep.rejected;  // the hardened path: structured rejection
+    } catch (const std::exception& e) {
+      rep.failures.push_back(FuzzFailure{i, e.what()});
+    } catch (...) {
+      rep.failures.push_back(FuzzFailure{i, "non-standard exception"});
+    }
+  }
+  return rep;
+}
+
+}  // namespace cypress::verify

@@ -1,0 +1,54 @@
+// Deterministic corruption fuzzer for the trace deserializers.
+//
+// Starting from a well-formed serialized trace, apply seeded random
+// mutations (bit flips, byte overwrites, truncations, slice surgery)
+// and feed each mutant to a decoder. The contract under test: a decoder
+// confronted with arbitrary bytes either succeeds or throws
+// cypress::Error — never any other exception, never UB, never an
+// unbounded allocation. Seeds are fixed by the caller, so every failure
+// is replayable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace cypress::verify {
+
+/// A decoder under test: parse the bytes, throw cypress::Error on
+/// malformed input, return normally otherwise.
+using Decoder = std::function<void(std::span<const uint8_t>)>;
+
+struct FuzzOptions {
+  uint64_t seed = 0xC4B8E55;
+  /// Number of mutants to generate and decode.
+  int mutations = 200;
+  /// Upper bound on bytes an insertion mutation may add.
+  size_t maxGrow = 64;
+};
+
+/// One mutant the decoder mishandled (threw something other than
+/// cypress::Error). `index` replays it: re-run with the same seed and
+/// count mutants.
+struct FuzzFailure {
+  int index = 0;
+  std::string what;
+};
+
+struct FuzzReport {
+  int mutants = 0;
+  int rejected = 0;  ///< threw cypress::Error — the correct outcome
+  int accepted = 0;  ///< decoded cleanly (some mutations are benign)
+  std::vector<FuzzFailure> failures;
+
+  bool ok() const { return failures.empty(); }
+  std::string toString() const;
+};
+
+/// Mutate `good` `opts.mutations` times and decode each mutant.
+FuzzReport corruptionFuzz(std::span<const uint8_t> good, const Decoder& decode,
+                          const FuzzOptions& opts = {});
+
+}  // namespace cypress::verify

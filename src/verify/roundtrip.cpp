@@ -1,0 +1,231 @@
+#include "verify/roundtrip.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "cypress/decompress.hpp"
+#include "flate/flate.hpp"
+#include "scalatrace/inter.hpp"
+#include "scalatrace/recorder.hpp"
+#include "support/error.hpp"
+
+namespace cypress::verify {
+
+void Report::add(std::string name, bool passed, std::string detail) {
+  checks.push_back(CheckResult{std::move(name), passed, std::move(detail)});
+}
+
+void Report::run(std::string name, const std::function<void()>& fn) {
+  try {
+    fn();
+    add(std::move(name), true);
+  } catch (const std::exception& e) {
+    add(std::move(name), false, e.what());
+  }
+}
+
+std::string Report::toString() const {
+  std::ostringstream os;
+  for (const auto& c : checks) {
+    os << (c.passed ? "  ok  " : "FAIL  ") << c.name;
+    if (!c.detail.empty()) os << ": " << c.detail;
+    os << "\n";
+  }
+  return os.str();
+}
+
+namespace {
+
+void requireSameBytes(std::span<const uint8_t> a, std::span<const uint8_t> b,
+                      const char* what) {
+  CYP_CHECK(a.size() == b.size(), what << ": re-serialized to " << b.size()
+                                       << " bytes, expected " << a.size());
+  for (size_t i = 0; i < a.size(); ++i)
+    CYP_CHECK(a[i] == b[i], what << ": bytes diverge at offset " << i);
+}
+
+void requireSameEvents(const std::vector<trace::Event>& expect,
+                       const std::vector<trace::Event>& got, int rank,
+                       const char* what) {
+  CYP_CHECK(expect.size() == got.size(),
+            what << ": rank " << rank << " decompressed to " << got.size()
+                 << " events, expected " << expect.size());
+  for (size_t i = 0; i < expect.size(); ++i) {
+    // Timing fields are statistical after compression; only the
+    // communication content must survive exactly.
+    CYP_CHECK(expect[i].sameComm(got[i]),
+              what << ": rank " << rank << " event " << i << " differs\n  raw: "
+                   << expect[i].toString() << "\n  got: " << got[i].toString());
+  }
+}
+
+}  // namespace
+
+Report verifyRoundtrip(const Artifacts& a) {
+  Report rep;
+
+  if (a.raw != nullptr) {
+    rep.run("raw: byte stability", [&] {
+      const auto bytes = a.raw->serialize();
+      const auto again = trace::RawTrace::deserialize(bytes).serialize();
+      requireSameBytes(bytes, again, "raw trace");
+    });
+    rep.run("flate: lossless over raw bytes", [&] {
+      const auto bytes = a.raw->serialize();
+      const auto packed = flate::compress(bytes);
+      const auto unpacked = flate::decompress(packed);
+      requireSameBytes(bytes, unpacked, "flate roundtrip");
+    });
+  }
+
+  if (a.merged != nullptr) {
+    rep.run("cypress: byte stability", [&] {
+      const auto bytes = a.merged->serialize();
+      cst::Tree tree;
+      const auto again =
+          core::MergedCtt::deserializeWithTree(bytes, tree).serialize();
+      requireSameBytes(bytes, again, "cypress trace");
+    });
+    if (a.raw != nullptr) {
+      rep.run("cypress: decompression matches raw", [&] {
+        const auto bytes = a.merged->serialize();
+        cst::Tree tree;
+        const auto back = core::MergedCtt::deserializeWithTree(bytes, tree);
+        for (size_t r = 0; r < a.raw->ranks.size(); ++r) {
+          const auto events = core::decompressRank(back, static_cast<int>(r));
+          requireSameEvents(a.raw->ranks[r].events, events,
+                            static_cast<int>(r), "cypress decompression");
+        }
+      });
+    }
+  }
+
+  auto checkPerRank = [&](const char* tool,
+                          const std::vector<const std::vector<scalatrace::Element>*>&
+                              seqs) {
+    if (seqs.empty()) return;
+    rep.run(std::string(tool) + ": per-rank byte stability", [&] {
+      for (size_t r = 0; r < seqs.size(); ++r) {
+        const auto bytes = scalatrace::Recorder::serializeSequence(*seqs[r]);
+        const auto again = scalatrace::Recorder::serializeSequence(
+            scalatrace::Recorder::deserializeSequence(bytes));
+        requireSameBytes(bytes, again, "scalatrace per-rank trace");
+      }
+    });
+  };
+  checkPerRank("scala", a.scalaV1);
+  checkPerRank("scala2", a.scalaV2);
+
+  if (!a.scalaV1.empty()) {
+    rep.run("scala: merged byte stability", [&] {
+      const auto merged =
+          scalatrace::mergeSequences(a.scalaV1, scalatrace::Flavor::V1);
+      const auto bytes = merged.serialize();
+      const auto again = scalatrace::MergedSeq::deserialize(bytes).serialize();
+      requireSameBytes(bytes, again, "merged scalatrace trace");
+    });
+    if (a.raw != nullptr) {
+      rep.run("scala: decompression matches raw", [&] {
+        const auto merged =
+            scalatrace::mergeSequences(a.scalaV1, scalatrace::Flavor::V1);
+        const auto back =
+            scalatrace::MergedSeq::deserialize(merged.serialize());
+        for (size_t r = 0; r < a.raw->ranks.size(); ++r) {
+          const auto events =
+              scalatrace::decompressRank(back, static_cast<int>(r));
+          requireSameEvents(a.raw->ranks[r].events, events,
+                            static_cast<int>(r), "scalatrace decompression");
+        }
+      });
+    }
+  }
+  if (!a.scalaV2.empty()) {
+    rep.run("scala2: merged byte stability", [&] {
+      const auto merged =
+          scalatrace::mergeSequences(a.scalaV2, scalatrace::Flavor::V2);
+      const auto bytes = merged.serialize();
+      const auto again = scalatrace::MergedSeq::deserialize(bytes).serialize();
+      requireSameBytes(bytes, again, "merged scalatrace-2 trace");
+    });
+  }
+
+  return rep;
+}
+
+namespace {
+
+/// Identify a serialized blob by magic. The flate container writes its
+/// magic as 4 raw bytes; every other format writes it via
+/// ByteWriter::str, i.e. with a one-byte length prefix of 4.
+std::string fileMagic(std::span<const uint8_t> data) {
+  CYP_CHECK(data.size() >= 5, "trace file shorter than a magic header");
+  if (std::memcmp(data.data(), "CYF1", 4) == 0) return "CYF1";
+  CYP_CHECK(data[0] == 4,
+            "trace file does not start with a recognized magic header");
+  return std::string(reinterpret_cast<const char*>(data.data()) + 1, 4);
+}
+
+}  // namespace
+
+Report verifyTraceFile(std::span<const uint8_t> data) {
+  Report rep;
+  const std::string magicStr = fileMagic(data);
+  const char* magic = magicStr.c_str();
+
+  if (std::memcmp(magic, "CYPC", 4) == 0) {
+    rep.run("cypress: byte stability", [&] {
+      cst::Tree tree;
+      const auto again =
+          core::MergedCtt::deserializeWithTree(data, tree).serialize();
+      requireSameBytes(data, again, "cypress trace");
+    });
+  } else if (std::memcmp(magic, "CYTR", 4) == 0) {
+    rep.run("raw: byte stability", [&] {
+      const auto again = trace::RawTrace::deserialize(data).serialize();
+      requireSameBytes(data, again, "raw trace");
+    });
+  } else if (std::memcmp(magic, "STR1", 4) == 0) {
+    rep.run("scalatrace: byte stability", [&] {
+      const auto again = scalatrace::Recorder::serializeSequence(
+          scalatrace::Recorder::deserializeSequence(data));
+      requireSameBytes(data, again, "scalatrace per-rank trace");
+    });
+  } else if (std::memcmp(magic, "STM1", 4) == 0) {
+    rep.run("scalatrace merged: byte stability", [&] {
+      const auto again = scalatrace::MergedSeq::deserialize(data).serialize();
+      requireSameBytes(data, again, "merged scalatrace trace");
+    });
+  } else if (std::memcmp(magic, "CYF1", 4) == 0) {
+    // The flate container is not byte-canonical across compression
+    // levels, so the invariant is content stability instead.
+    rep.run("flate: content stability", [&] {
+      const auto content = flate::decompress(data);
+      const auto again = flate::decompress(flate::compress(content));
+      requireSameBytes(content, again, "flate content");
+    });
+  } else {
+    CYP_FAIL("unknown trace magic '" << magic << "'");
+  }
+  return rep;
+}
+
+void decodeTraceFile(std::span<const uint8_t> data) {
+  const std::string magicStr = fileMagic(data);
+  const char* magic = magicStr.c_str();
+  if (std::memcmp(magic, "CYPC", 4) == 0) {
+    cst::Tree tree;
+    core::MergedCtt::deserializeWithTree(data, tree);
+  } else if (std::memcmp(magic, "CYTR", 4) == 0) {
+    trace::RawTrace::deserialize(data);
+  } else if (std::memcmp(magic, "STR1", 4) == 0) {
+    scalatrace::Recorder::deserializeSequence(data);
+  } else if (std::memcmp(magic, "STM1", 4) == 0) {
+    scalatrace::MergedSeq::deserialize(data);
+  } else if (std::memcmp(magic, "CYF1", 4) == 0) {
+    flate::decompress(data);
+  } else {
+    CYP_FAIL("unknown trace magic '" << magic << "'");
+  }
+}
+
+}  // namespace cypress::verify

@@ -1,0 +1,77 @@
+// Trace-validation and roundtrip-verification subsystem.
+//
+// Every on-disk format in the repository (CYPC, CYPP, CYTR, STR1, STM1,
+// CYF1) has a serializer and a hardened deserializer; this module proves
+// the two are inverse of each other on real data. The core property is
+// *byte stability*: serialize → deserialize → re-serialize must
+// reproduce the input bit-for-bit, which implies the deserializer loses
+// nothing and the serializer is canonical. Where a ground-truth raw
+// trace is available, decompression is additionally checked against it
+// event-for-event.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cypress/merge.hpp"
+#include "scalatrace/element.hpp"
+#include "trace/event.hpp"
+
+namespace cypress::verify {
+
+/// One named check and its outcome.
+struct CheckResult {
+  std::string name;
+  bool passed = false;
+  std::string detail;  // failure explanation, empty on success
+};
+
+struct Report {
+  std::vector<CheckResult> checks;
+
+  bool ok() const {
+    for (const auto& c : checks)
+      if (!c.passed) return false;
+    return true;
+  }
+  void add(std::string name, bool passed, std::string detail = "");
+  /// Run `fn` as a named check; a cypress::Error (or any exception)
+  /// thrown inside fails the check instead of propagating.
+  void run(std::string name, const std::function<void()>& fn);
+  std::string toString() const;
+};
+
+/// The component-level artifacts of one traced run. All pointers are
+/// borrowed and optional; absent tools are simply skipped. This struct
+/// (rather than driver::RunOutput) keeps the verifier free of a driver
+/// dependency — the driver provides a convenience wrapper.
+struct Artifacts {
+  const core::MergedCtt* merged = nullptr;  ///< CYPRESS merged trace
+  const trace::RawTrace* raw = nullptr;     ///< ground-truth raw trace
+  /// Per-rank compressed sequences (index = rank).
+  std::vector<const std::vector<scalatrace::Element>*> scalaV1;
+  std::vector<const std::vector<scalatrace::Element>*> scalaV2;
+};
+
+/// Serialize → deserialize → re-serialize every artifact and assert
+/// byte-for-byte stability. With `raw` present, also decompress the
+/// CYPRESS and ScalaTrace-V1 traces per rank and compare the event
+/// sequences (communication content; timings are statistical).
+Report verifyRoundtrip(const Artifacts& a);
+
+/// Verify one serialized trace blob of any known format, identified by
+/// its magic: deserialize, re-serialize, assert byte stability. For
+/// flate containers (CYF1) the check is decompress → compress →
+/// decompress equality instead (the encoder is level-dependent, so raw
+/// container bytes are not canonical).
+Report verifyTraceFile(std::span<const uint8_t> data);
+
+/// Parse a serialized trace blob of any known format and discard the
+/// result; throws cypress::Error on malformed input (including an
+/// unrecognized magic). This is the decoder the corruption fuzzer
+/// drives against whole files.
+void decodeTraceFile(std::span<const uint8_t> data);
+
+}  // namespace cypress::verify

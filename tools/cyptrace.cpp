@@ -16,6 +16,14 @@
 //       Decompress and print trace statistics + the comm-volume matrix.
 //   cyptrace diff <A.cyp> <B.cyp>
 //       Structural diff of two compressed traces of the same program.
+//   cyptrace verify <workload|file.mc|trace file> [--procs N] [--scale S]
+//                   [--fuzz N] [--seed S]
+//       Roundtrip-verify traces. For a workload/source, run every tool
+//       and check serialize → deserialize → re-serialize byte stability
+//       plus decompression against the raw trace. For a trace file,
+//       check byte stability and (with --fuzz) corruption-fuzz the
+//       deserializer.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -32,6 +40,7 @@
 #include "trace/matrix.hpp"
 #include "trace/otf_text.hpp"
 #include "trace/stats.hpp"
+#include "verify/fuzz.hpp"
 #include "workloads/workloads.hpp"
 
 using namespace cypress;
@@ -49,6 +58,8 @@ struct Args {
   bool otf = false;
   std::string out;
   std::string net = "ib";
+  int fuzz = 0;
+  uint64_t seed = 0xC4B8E55;
 };
 
 [[noreturn]] void usage() {
@@ -61,6 +72,8 @@ struct Args {
                "  cyptrace compare <workload> --procs N [--scale S]\n"
                "  cyptrace stats <F.cyp>\n"
                "  cyptrace diff <A.cyp> <B.cyp>\n"
+               "  cyptrace verify <workload|file.mc|trace file> [--procs N] "
+               "[--scale S] [--fuzz N] [--seed S]\n"
                "workloads: ");
   for (const auto& n : workloads::allNames()) std::fprintf(stderr, "%s ", n.c_str());
   std::fprintf(stderr, "\n");
@@ -91,6 +104,8 @@ Args parse(int argc, char** argv) {
     else if (flag == "--out") a.out = value();
     else if (flag == "--net") a.net = value();
     else if (flag == "--otf") a.otf = true;
+    else if (flag == "--fuzz") a.fuzz = std::stoi(value());
+    else if (flag == "--seed") a.seed = std::stoull(value());
     else usage();
   }
   return a;
@@ -249,6 +264,41 @@ int cmdCompare(const Args& a) {
   return 0;
 }
 
+int cmdVerify(const Args& a) {
+  const auto names = workloads::allNames();
+  const bool isSource =
+      a.target.size() > 3 &&
+      a.target.compare(a.target.size() - 3, 3, ".mc") == 0;
+  const bool isWorkload =
+      std::find(names.begin(), names.end(), a.target) != names.end();
+
+  if (isSource || isWorkload) {
+    driver::RunOutput run = runTarget(a, /*allTools=*/true);
+    const verify::Report rep = driver::verifyRun(run);
+    std::printf("%s, %d ranks, %zu events\n%s", a.target.c_str(), a.procs,
+                run.raw.totalEvents(), rep.toString().c_str());
+    return rep.ok() ? 0 : 1;
+  }
+
+  const auto bytes = readBytes(a.target);
+  verify::Report rep = verify::verifyTraceFile(bytes);
+  std::printf("%s (%s)\n%s", a.target.c_str(),
+              humanBytes(bytes.size()).c_str(), rep.toString().c_str());
+  if (!rep.ok()) return 1;
+  if (a.fuzz > 0) {
+    verify::FuzzOptions fo;
+    fo.seed = a.seed;
+    fo.mutations = a.fuzz;
+    const verify::FuzzReport fr =
+        verify::corruptionFuzz(bytes, verify::decodeTraceFile, fo);
+    std::printf("fuzz (seed %llu): %s\n",
+                static_cast<unsigned long long>(a.seed),
+                fr.toString().c_str());
+    if (!fr.ok()) return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -261,6 +311,7 @@ int main(int argc, char** argv) {
     if (a.command == "compare") return cmdCompare(a);
     if (a.command == "stats") return cmdStats(a);
     if (a.command == "diff") return cmdDiff(a);
+    if (a.command == "verify") return cmdVerify(a);
     usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cyptrace: %s\n", e.what());
