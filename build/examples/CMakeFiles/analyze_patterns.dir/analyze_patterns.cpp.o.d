@@ -254,8 +254,9 @@ examples/CMakeFiles/analyze_patterns.dir/analyze_patterns.cpp.o: \
  /root/repo/src/scalatrace/element.hpp \
  /root/repo/src/scalatrace/recorder.hpp /root/repo/src/simmpi/engine.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/simmpi/netmodel.hpp \
- /root/repo/src/support/rng.hpp /root/repo/src/verify/roundtrip.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/simmpi/fault.hpp \
+ /root/repo/src/support/rng.hpp /root/repo/src/simmpi/netmodel.hpp \
+ /root/repo/src/trace/journal.hpp /root/repo/src/verify/roundtrip.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \

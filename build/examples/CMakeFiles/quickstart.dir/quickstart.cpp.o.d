@@ -251,6 +251,6 @@ examples/CMakeFiles/quickstart.dir/quickstart.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/simmpi/netmodel.hpp /root/repo/src/support/rng.hpp \
- /root/repo/src/support/strings.hpp /root/repo/src/vm/runner.hpp \
- /root/repo/src/vm/vm.hpp
+ /root/repo/src/simmpi/fault.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/simmpi/netmodel.hpp /root/repo/src/support/strings.hpp \
+ /root/repo/src/vm/runner.hpp /root/repo/src/vm/vm.hpp

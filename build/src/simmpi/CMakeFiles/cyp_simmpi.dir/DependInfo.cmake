@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/trace/CMakeFiles/cyp_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/ir/CMakeFiles/cyp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/flate/CMakeFiles/cyp_flate.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

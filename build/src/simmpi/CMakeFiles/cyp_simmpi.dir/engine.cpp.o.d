@@ -207,7 +207,8 @@ src/simmpi/CMakeFiles/cyp_simmpi.dir/engine.cpp.o: \
  /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/ir/expr.hpp \
  /root/repo/src/support/error.hpp /usr/include/c++/12/sstream \
  /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/simmpi/netmodel.hpp \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/simmpi/fault.hpp \
+ /root/repo/src/support/rng.hpp /root/repo/src/simmpi/netmodel.hpp \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -230,7 +231,7 @@ src/simmpi/CMakeFiles/cyp_simmpi.dir/engine.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/support/rng.hpp \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/trace/observer.hpp /root/repo/src/trace/event.hpp \
  /root/repo/src/support/bytebuf.hpp /usr/include/c++/12/cstring \
  /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/span \

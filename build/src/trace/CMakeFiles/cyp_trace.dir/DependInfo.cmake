@@ -9,6 +9,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/trace/event.cpp" "src/trace/CMakeFiles/cyp_trace.dir/event.cpp.o" "gcc" "src/trace/CMakeFiles/cyp_trace.dir/event.cpp.o.d"
+  "/root/repo/src/trace/journal.cpp" "src/trace/CMakeFiles/cyp_trace.dir/journal.cpp.o" "gcc" "src/trace/CMakeFiles/cyp_trace.dir/journal.cpp.o.d"
   "/root/repo/src/trace/matrix.cpp" "src/trace/CMakeFiles/cyp_trace.dir/matrix.cpp.o" "gcc" "src/trace/CMakeFiles/cyp_trace.dir/matrix.cpp.o.d"
   "/root/repo/src/trace/otf_text.cpp" "src/trace/CMakeFiles/cyp_trace.dir/otf_text.cpp.o" "gcc" "src/trace/CMakeFiles/cyp_trace.dir/otf_text.cpp.o.d"
   "/root/repo/src/trace/stats.cpp" "src/trace/CMakeFiles/cyp_trace.dir/stats.cpp.o" "gcc" "src/trace/CMakeFiles/cyp_trace.dir/stats.cpp.o.d"
@@ -17,6 +18,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/ir/CMakeFiles/cyp_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/flate/CMakeFiles/cyp_flate.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,6 +1,8 @@
 file(REMOVE_RECURSE
   "CMakeFiles/cyp_trace.dir/event.cpp.o"
   "CMakeFiles/cyp_trace.dir/event.cpp.o.d"
+  "CMakeFiles/cyp_trace.dir/journal.cpp.o"
+  "CMakeFiles/cyp_trace.dir/journal.cpp.o.d"
   "CMakeFiles/cyp_trace.dir/matrix.cpp.o"
   "CMakeFiles/cyp_trace.dir/matrix.cpp.o.d"
   "CMakeFiles/cyp_trace.dir/otf_text.cpp.o"

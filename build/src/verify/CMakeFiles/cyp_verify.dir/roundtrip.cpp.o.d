@@ -253,4 +253,4 @@ src/verify/CMakeFiles/cyp_verify.dir/roundtrip.cpp.o: \
  /root/repo/src/scalatrace/element.hpp \
  /root/repo/src/cypress/decompress.hpp /root/repo/src/flate/flate.hpp \
  /root/repo/src/scalatrace/inter.hpp \
- /root/repo/src/scalatrace/recorder.hpp
+ /root/repo/src/scalatrace/recorder.hpp /root/repo/src/trace/journal.hpp

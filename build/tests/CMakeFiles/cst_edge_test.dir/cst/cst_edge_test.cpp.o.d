@@ -331,5 +331,6 @@ tests/CMakeFiles/cst_edge_test.dir/cst/cst_edge_test.cpp.o: \
  /root/repo/src/ir/builder.hpp /root/repo/src/ir/dsl.hpp \
  /root/repo/src/simmpi/engine.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/simmpi/netmodel.hpp /root/repo/src/support/rng.hpp \
- /root/repo/src/vm/runner.hpp /root/repo/src/vm/vm.hpp
+ /root/repo/src/simmpi/fault.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/simmpi/netmodel.hpp /root/repo/src/vm/runner.hpp \
+ /root/repo/src/vm/vm.hpp

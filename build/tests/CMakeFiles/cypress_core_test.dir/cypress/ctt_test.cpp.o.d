@@ -331,5 +331,6 @@ tests/CMakeFiles/cypress_core_test.dir/cypress/ctt_test.cpp.o: \
  /root/repo/src/minic/compile.hpp /root/repo/src/minic/ast.hpp \
  /root/repo/src/simmpi/engine.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/simmpi/netmodel.hpp /root/repo/src/support/rng.hpp \
- /root/repo/src/vm/runner.hpp /root/repo/src/vm/vm.hpp
+ /root/repo/src/simmpi/fault.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/simmpi/netmodel.hpp /root/repo/src/vm/runner.hpp \
+ /root/repo/src/vm/vm.hpp

@@ -334,6 +334,7 @@ tests/CMakeFiles/diff_test.dir/cypress/diff_test.cpp.o: \
  /root/repo/src/scalatrace/element.hpp \
  /root/repo/src/scalatrace/recorder.hpp /root/repo/src/simmpi/engine.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/simmpi/netmodel.hpp \
- /root/repo/src/support/rng.hpp /root/repo/src/verify/roundtrip.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/simmpi/fault.hpp \
+ /root/repo/src/support/rng.hpp /root/repo/src/simmpi/netmodel.hpp \
+ /root/repo/src/trace/journal.hpp /root/repo/src/verify/roundtrip.hpp \
  /root/repo/src/vm/runner.hpp /root/repo/src/vm/vm.hpp

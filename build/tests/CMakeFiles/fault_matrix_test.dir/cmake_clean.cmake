@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fault_matrix_test.dir/simmpi/fault_matrix_test.cpp.o"
+  "CMakeFiles/fault_matrix_test.dir/simmpi/fault_matrix_test.cpp.o.d"
+  "fault_matrix_test"
+  "fault_matrix_test.pdb"
+  "fault_matrix_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fault_matrix_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

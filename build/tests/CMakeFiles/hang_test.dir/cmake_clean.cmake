@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hang_test.dir/simmpi/hang_test.cpp.o"
+  "CMakeFiles/hang_test.dir/simmpi/hang_test.cpp.o.d"
+  "hang_test"
+  "hang_test.pdb"
+  "hang_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -330,5 +330,6 @@ tests/CMakeFiles/ir_builder_test.dir/ir/builder_test.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/simmpi/engine.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/simmpi/netmodel.hpp /root/repo/src/support/rng.hpp \
- /root/repo/src/vm/runner.hpp /root/repo/src/vm/vm.hpp
+ /root/repo/src/simmpi/fault.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/simmpi/netmodel.hpp /root/repo/src/vm/runner.hpp \
+ /root/repo/src/vm/vm.hpp

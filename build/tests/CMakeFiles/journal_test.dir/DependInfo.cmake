@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/trace/journal_test.cpp" "tests/CMakeFiles/journal_test.dir/trace/journal_test.cpp.o" "gcc" "tests/CMakeFiles/journal_test.dir/trace/journal_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/cyp_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/cyp_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/minic/CMakeFiles/cyp_minic.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/cyp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/replay/CMakeFiles/cyp_replay.dir/DependInfo.cmake"
+  "/root/repo/build/src/simmpi/CMakeFiles/cyp_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/cyp_verify.dir/DependInfo.cmake"
+  "/root/repo/build/src/scalatrace/CMakeFiles/cyp_scalatrace.dir/DependInfo.cmake"
+  "/root/repo/build/src/cypress/CMakeFiles/cyp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cst/CMakeFiles/cyp_cst.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/cyp_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/cyp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/flate/CMakeFiles/cyp_flate.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/cyp_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

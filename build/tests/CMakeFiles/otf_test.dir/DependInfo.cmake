@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/vm/CMakeFiles/cyp_vm.dir/DependInfo.cmake"
   "/root/repo/build/src/minic/CMakeFiles/cyp_minic.dir/DependInfo.cmake"
   "/root/repo/build/src/simmpi/CMakeFiles/cyp_simmpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/flate/CMakeFiles/cyp_flate.dir/DependInfo.cmake"
   "/root/repo/build/src/ir/CMakeFiles/cyp_ir.dir/DependInfo.cmake"
   )
 

@@ -19,9 +19,9 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/minic/CMakeFiles/cyp_minic.dir/DependInfo.cmake"
   "/root/repo/build/src/cst/CMakeFiles/cyp_cst.dir/DependInfo.cmake"
   "/root/repo/build/src/analysis/CMakeFiles/cyp_analysis.dir/DependInfo.cmake"
-  "/root/repo/build/src/flate/CMakeFiles/cyp_flate.dir/DependInfo.cmake"
   "/root/repo/build/src/simmpi/CMakeFiles/cyp_simmpi.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/cyp_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/flate/CMakeFiles/cyp_flate.dir/DependInfo.cmake"
   "/root/repo/build/src/ir/CMakeFiles/cyp_ir.dir/DependInfo.cmake"
   )
 

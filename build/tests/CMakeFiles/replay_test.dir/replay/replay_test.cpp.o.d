@@ -332,5 +332,5 @@ tests/CMakeFiles/replay_test.dir/replay/replay_test.cpp.o: \
  /root/repo/src/replay/simulator.hpp /root/repo/src/simmpi/netmodel.hpp \
  /root/repo/src/simmpi/engine.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/support/rng.hpp /root/repo/src/vm/runner.hpp \
- /root/repo/src/vm/vm.hpp
+ /root/repo/src/simmpi/fault.hpp /root/repo/src/support/rng.hpp \
+ /root/repo/src/vm/runner.hpp /root/repo/src/vm/vm.hpp

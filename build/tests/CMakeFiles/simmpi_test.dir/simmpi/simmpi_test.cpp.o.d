@@ -298,7 +298,8 @@ tests/CMakeFiles/simmpi_test.dir/simmpi/simmpi_test.cpp.o: \
  /root/repo/src/support/error.hpp /root/repo/src/minic/compile.hpp \
  /root/repo/src/minic/ast.hpp /root/repo/src/simmpi/engine.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/simmpi/netmodel.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/simmpi/fault.hpp \
+ /root/repo/src/support/rng.hpp /root/repo/src/simmpi/netmodel.hpp \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -320,7 +321,7 @@ tests/CMakeFiles/simmpi_test.dir/simmpi/simmpi_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/support/rng.hpp \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/trace/observer.hpp /root/repo/src/trace/event.hpp \
  /root/repo/src/support/bytebuf.hpp /usr/include/c++/12/cstring \
  /usr/include/c++/12/span /root/repo/src/vm/runner.hpp \

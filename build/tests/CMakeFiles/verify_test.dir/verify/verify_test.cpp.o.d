@@ -332,8 +332,9 @@ tests/CMakeFiles/verify_test.dir/verify/verify_test.cpp.o: \
  /root/repo/src/scalatrace/element.hpp \
  /root/repo/src/scalatrace/recorder.hpp /root/repo/src/simmpi/engine.hpp \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
- /usr/include/c++/12/bits/deque.tcc /root/repo/src/simmpi/netmodel.hpp \
- /root/repo/src/support/rng.hpp /root/repo/src/verify/roundtrip.hpp \
+ /usr/include/c++/12/bits/deque.tcc /root/repo/src/simmpi/fault.hpp \
+ /root/repo/src/support/rng.hpp /root/repo/src/simmpi/netmodel.hpp \
+ /root/repo/src/trace/journal.hpp /root/repo/src/verify/roundtrip.hpp \
  /root/repo/src/vm/runner.hpp /root/repo/src/vm/vm.hpp \
  /root/repo/src/flate/flate.hpp /root/repo/src/flate/lz77.hpp \
  /root/repo/src/verify/fuzz.hpp /root/repo/src/workloads/workloads.hpp

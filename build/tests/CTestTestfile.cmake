@@ -16,6 +16,8 @@ include("/root/repo/build/tests/simmpi_test[1]_include.cmake")
 include("/root/repo/build/tests/extensions_test[1]_include.cmake")
 include("/root/repo/build/tests/engine_unit_test[1]_include.cmake")
 include("/root/repo/build/tests/collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/hang_test[1]_include.cmake")
+include("/root/repo/build/tests/fault_matrix_test[1]_include.cmake")
 include("/root/repo/build/tests/robustness_test[1]_include.cmake")
 include("/root/repo/build/tests/cypress_core_test[1]_include.cmake")
 include("/root/repo/build/tests/scalatrace_test[1]_include.cmake")
@@ -24,5 +26,6 @@ include("/root/repo/build/tests/workloads_test[1]_include.cmake")
 include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
 include("/root/repo/build/tests/otf_test[1]_include.cmake")
 include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/journal_test[1]_include.cmake")
 include("/root/repo/build/tests/diff_test[1]_include.cmake")
 include("/root/repo/build/tests/verify_test[1]_include.cmake")

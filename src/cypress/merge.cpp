@@ -89,6 +89,7 @@ bool timingCompatible(const LeafEntry& a, const LeafEntry& b) {
 
 void MergedCtt::absorb(MergedCtt&& other) {
   CYP_CHECK(cst_ == other.cst_, "merging CTTs with different CSTs");
+  lostRanks_.unite(other.lostRanks_);
   const size_t n = loops_.size();
   for (size_t g = 0; g < n; ++g) {
     absorbEntries(
@@ -116,14 +117,18 @@ void MergedCtt::absorb(MergedCtt&& other) {
 }
 
 MergedCtt mergeAll(std::vector<const Ctt*> ctts, CostMeter* interCost,
-                   int threads) {
+                   int threads, const std::vector<int>* ranks) {
   CYP_CHECK(!ctts.empty(), "mergeAll with no processes");
   CYP_CHECK(threads >= 1, "mergeAll needs at least one thread");
-  // Wrap each process (rank = index).
+  CYP_CHECK(ranks == nullptr || ranks->size() == ctts.size(),
+            "mergeAll: " << ctts.size() << " CTTs but " << ranks->size()
+                         << " rank labels");
+  // Wrap each process (rank = index unless the caller labels them).
   std::vector<MergedCtt> level;
   level.reserve(ctts.size());
   for (size_t r = 0; r < ctts.size(); ++r)
-    level.push_back(MergedCtt::fromCtt(*ctts[r], static_cast<int>(r)));
+    level.push_back(MergedCtt::fromCtt(
+        *ctts[r], ranks ? (*ranks)[r] : static_cast<int>(r)));
 
   // Binary-tree reduction (the paper's O(n log P) parallel merge). The
   // pairing is fixed, so single- and multi-threaded runs produce
@@ -195,6 +200,8 @@ std::vector<uint8_t> MergedCtt::serialize() const {
     w.uv(cstBytes.size());
     w.raw(cstBytes);
   }
+  // Ranks whose traces were lost (empty for a complete run).
+  lostRanks_.serialize(w);
   const size_t n = loops_.size();
   w.uv(n);
   for (size_t g = 0; g < n; ++g) {
@@ -217,6 +224,7 @@ MergedCtt MergedCtt::deserialize(std::span<const uint8_t> data,
   CYP_CHECK(r.str() == "CYPC", "cypress trace: bad magic");
   r.raw(r.uv());  // skip the embedded CST (caller supplied the tree)
   MergedCtt m(cst);
+  m.lostRanks_ = RankSet::deserialize(r);
   const uint64_t n = r.uv();
   CYP_CHECK(n == static_cast<uint64_t>(cst.numNodes()),
             "cypress trace: node count mismatch");

@@ -48,6 +48,13 @@ class MergedCtt {
   void absorb(MergedCtt&& other);
 
   const cst::Tree& cst() const { return *cst_; }
+
+  /// Ranks whose per-process traces were lost (killed mid-run) and are
+  /// therefore absent from this merged tree. Serialized with the trace
+  /// so downstream consumers know the coverage is partial.
+  const RankSet& lostRanks() const { return lostRanks_; }
+  void markLost(const RankSet& ranks) { lostRanks_.unite(ranks); }
+
   const std::vector<SeqEntry>& loopEntries(int gid) const {
     return loops_[static_cast<size_t>(gid)];
   }
@@ -78,6 +85,7 @@ class MergedCtt {
                             SamePred same, MergeFn mergeStats);
 
   const cst::Tree* cst_;
+  RankSet lostRanks_;
   std::vector<std::vector<SeqEntry>> loops_;
   std::vector<std::vector<SeqEntry>> taken_;
   std::vector<std::vector<LeafEntry>> leaves_;
@@ -87,8 +95,10 @@ class MergedCtt {
 /// accumulates the pure merge CPU time (Fig. 18). `threads` > 1 runs each
 /// reduction level's independent pair-merges concurrently (the paper's
 /// parallel merge, §IV-B); the result is identical regardless of thread
-/// count because the pairing is fixed.
+/// count because the pairing is fixed. `ranks`, when given, supplies the
+/// world rank of each CTT (for partial merges over surviving ranks);
+/// by default ctts[i] is rank i.
 MergedCtt mergeAll(std::vector<const Ctt*> ctts, CostMeter* interCost = nullptr,
-                   int threads = 1);
+                   int threads = 1, const std::vector<int>* ranks = nullptr);
 
 }  // namespace cypress::core

@@ -35,6 +35,13 @@ size_t RunOutput::cypressMemoryPerRank() const { return avgMemory(cypress); }
 size_t RunOutput::scalaMemoryPerRank() const { return avgMemory(scala); }
 size_t RunOutput::scala2MemoryPerRank() const { return avgMemory(scala2); }
 
+RankSet RunOutput::lostRanks() const {
+  RankSet lost;
+  for (int r : runStats.deadRanks) lost.insert(r);
+  for (int r : runStats.stalledRanks) lost.insert(r);
+  return lost;
+}
+
 RunOutput runSource(const std::string& name, const std::string& source,
                     const Options& opts) {
   RunOutput out;
@@ -61,8 +68,10 @@ RunOutput runSource(const std::string& name, const std::string& source,
     cfg.numRanks = opts.procs;
     simmpi::Engine engine(cfg);
     std::vector<trace::Observer*> none(static_cast<size_t>(opts.procs), nullptr);
+    vm::RunOptions baseOpts;
+    baseOpts.onStall = opts.onStall;
     Stopwatch w;
-    vm::run(*out.module, engine, none);
+    vm::run(*out.module, engine, none, baseOpts);
     out.baselineWallSeconds = w.seconds();
   }
 
@@ -71,6 +80,8 @@ RunOutput runSource(const std::string& name, const std::string& source,
   cfg.numRanks = opts.procs;
   simmpi::Engine engine(cfg);
   out.raw.ranks.resize(static_cast<size_t>(opts.procs));
+  if (opts.withJournal)
+    out.journal = std::make_unique<trace::JournalBuilder>(opts.procs);
 
   std::vector<std::unique_ptr<trace::RawRecorder>> raws;
   std::vector<std::unique_ptr<trace::TeeObserver>> tees;
@@ -82,6 +93,11 @@ RunOutput runSource(const std::string& name, const std::string& source,
       raws.push_back(std::make_unique<trace::RawRecorder>(
           out.raw.ranks[static_cast<size_t>(r)]));
       tee->add(raws.back().get());
+    }
+    if (opts.withJournal) {
+      out.journalRecorders.push_back(std::make_unique<trace::JournalRecorder>(
+          *out.journal, r, opts.journalFlushEvery));
+      tee->add(out.journalRecorders.back().get());
     }
     if (opts.withCypress) {
       out.cypress.push_back(std::make_unique<core::CttRecorder>(
@@ -102,9 +118,25 @@ RunOutput runSource(const std::string& name, const std::string& source,
     obs.push_back(tees.back().get());
   }
 
+  vm::RunOptions runOpts;
+  runOpts.instructionLimitPerRank = 1ull << 34;
+  runOpts.onStall = opts.onStall;
   Stopwatch w;
-  out.runStats = vm::run(*out.module, engine, obs, 1ull << 34);
+  out.runStats = vm::run(*out.module, engine, obs, runOpts);
   out.tracedWallSeconds = w.seconds();
+
+  // Seal the journal: every rank has now either finalized (FINALIZE
+  // segment already appended) or is recorded as lost. Stalled ranks are
+  // hung, not crashed — their tracer is still alive, so flush their
+  // buffered tails first; a *dead* rank's unflushed tail stays lost,
+  // which is what a real kill costs. A run that dies before this point
+  // leaves an unsealed journal — exactly the partial stream `cyptrace
+  // recover` salvages.
+  if (out.journal) {
+    for (int r : out.runStats.stalledRanks)
+      out.journalRecorders[static_cast<size_t>(r)]->flush();
+    out.journal->seal(out.lostRanks());
+  }
 
   if (opts.verifyRoundtrip) {
     const verify::Report rep = verifyRun(out);
@@ -123,10 +155,31 @@ RunOutput runWorkload(const std::string& name, const Options& opts) {
 }
 
 core::MergedCtt mergeCypress(const RunOutput& run, CostMeter* cost) {
+  CYP_CHECK(!run.cypress.empty(), "mergeCypress: run has no CYPRESS recorders");
   std::vector<const core::Ctt*> ctts;
+  std::vector<int> ranks;
+  RankSet lost;
   ctts.reserve(run.cypress.size());
-  for (const auto& r : run.cypress) ctts.push_back(&r->ctt());
-  return core::mergeAll(std::move(ctts), cost);
+  for (const auto& r : run.cypress) {
+    if (r->finalized()) {
+      ctts.push_back(&r->ctt());
+      ranks.push_back(r->rank());
+    } else {
+      // Killed or stalled mid-run: its CTT is an unclosed prefix, so it
+      // is excluded from the merge and annotated as lost instead.
+      lost.insert(r->rank());
+    }
+  }
+  if (ctts.empty()) {
+    // Every rank died: degrade to an empty trace over the static CST
+    // with the whole job marked lost.
+    core::MergedCtt m(*run.cst);
+    m.markLost(lost);
+    return m;
+  }
+  core::MergedCtt m = core::mergeAll(std::move(ctts), cost, 1, &ranks);
+  m.markLost(lost);
+  return m;
 }
 
 verify::Report verifyRun(const RunOutput& run) {

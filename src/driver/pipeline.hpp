@@ -21,6 +21,7 @@
 #include "scalatrace/recorder.hpp"
 #include "simmpi/engine.hpp"
 #include "trace/event.hpp"
+#include "trace/journal.hpp"
 #include "verify/roundtrip.hpp"
 #include "vm/runner.hpp"
 
@@ -35,6 +36,16 @@ struct Options {
   bool withCypress = true;
   core::TimeMode timeMode = core::TimeMode::MeanStddev;
   simmpi::Engine::Config engine;  // numRanks is overwritten with `procs`
+  /// Also journal raw events to a crash-consistent CYJ1 stream (see
+  /// trace/journal.hpp). The journal is sealed after the run with the
+  /// lost ranks recorded, and is available as RunOutput::journal.
+  bool withJournal = false;
+  size_t journalFlushEvery = 64;
+  /// What to do when the run deadlocks (usually under fault injection):
+  /// Throw (default) raises a structured error with per-rank
+  /// diagnostics; Salvage finishes normally with the stalled ranks in
+  /// RunOutput::runStats so partial traces can still be recovered.
+  vm::OnStall onStall = vm::OnStall::Throw;
   /// Also run once with no observers to obtain the untraced baseline
   /// wall time (needed for overhead percentages).
   bool measureBaseline = false;
@@ -60,6 +71,14 @@ struct RunOutput {
   std::vector<std::unique_ptr<core::CttRecorder>> cypress;
   std::vector<std::unique_ptr<scalatrace::Recorder>> scala;
   std::vector<std::unique_ptr<scalatrace::Recorder>> scala2;
+
+  /// Sealed CYJ1 journal of the run (only when Options::withJournal).
+  std::unique_ptr<trace::JournalBuilder> journal;
+  std::vector<std::unique_ptr<trace::JournalRecorder>> journalRecorders;
+
+  /// Ranks whose traces are incomplete: killed by the fault plan or
+  /// still blocked when a stalled run was salvaged.
+  RankSet lostRanks() const;
 
   vm::RunResult runStats;
   double tracedWallSeconds = 0.0;
@@ -103,6 +122,9 @@ struct SizeReport {
 SizeReport computeSizes(const RunOutput& run);
 
 /// Merge the CYPRESS CTTs of a run (exposed for decompression/replay).
+/// Ranks that did not finalize (killed or stalled) are skipped and
+/// recorded in the result's lostRanks() annotation, so a faulted run
+/// still yields a valid compressed trace for the survivors.
 core::MergedCtt mergeCypress(const RunOutput& run, CostMeter* cost = nullptr);
 
 /// Roundtrip-verify every trace a run produced (see verify/roundtrip.hpp).

@@ -9,7 +9,7 @@
 namespace cypress::simmpi {
 
 Engine::Engine(const Config& cfg)
-    : net_(cfg.net), jitter_(cfg.jitter), rng_(cfg.seed) {
+    : net_(cfg.net), jitter_(cfg.jitter), rng_(cfg.seed), faults_(cfg.faults) {
   CYP_CHECK(cfg.numRanks >= 1, "engine needs at least one rank");
   ranks_.resize(static_cast<size_t>(cfg.numRanks));
   // Communicator 0 is MPI_COMM_WORLD.
@@ -70,16 +70,22 @@ void Engine::emit(int rank, trace::Event e, uint64_t durationNs) {
 }
 
 bool Engine::matches(const Request& r, const Message& m) const {
+  // Pure matching predicate — MPI matching ignores message size. The
+  // truncation rule is checked against the message actually *matched*
+  // (checkTruncation), not against every scanned candidate.
   if (r.comm != m.comm) return false;
   if (r.tag != m.tag) return false;
   if (r.peer != trace::kAnySource && r.peer != m.src) return false;
+  return true;
+}
+
+void Engine::checkTruncation(const Request& r, const Message& m) const {
   // MPI truncation rule: a message larger than the posted receive buffer
   // is a program error (MPI_ERR_TRUNCATE). Smaller messages are fine.
   CYP_CHECK(m.bytes <= r.bytes, "message truncation: " << m.bytes
                                     << "-byte message from rank " << m.src
                                     << " into a " << r.bytes
                                     << "-byte receive (tag " << m.tag << ")");
-  return true;
 }
 
 void Engine::deliver(const Message& m) {
@@ -88,6 +94,7 @@ void Engine::deliver(const Message& m) {
   for (size_t i = 0; i < dst.pendingRecvs.size(); ++i) {
     Request& req = dst.requests[static_cast<size_t>(dst.pendingRecvs[i])];
     if (!req.complete && matches(req, m)) {
+      checkTruncation(req, m);
       req.complete = true;
       req.matchedSource = m.src;
       req.completeNs = std::max(m.arrivalNs, dst.clock);
@@ -102,17 +109,26 @@ void Engine::deliver(const Message& m) {
 bool Engine::tryMatchRecv(int rank, int64_t reqIdx) {
   RankState& r = rs(rank);
   Request& req = r.requests[static_cast<size_t>(reqIdx)];
+  // Deterministic match order. For a specific source the deque scan is
+  // FIFO per (src, tag, comm) pair, as MPI requires. For MPI_ANY_SOURCE
+  // the match must be a function of the *set* of buffered messages, not
+  // of the delivery schedule that built it: pick the lowest source rank
+  // first, FIFO within that pair (the deque preserves per-pair order).
+  size_t best = r.unexpected.size();
   for (size_t i = 0; i < r.unexpected.size(); ++i) {
     const Message& m = r.unexpected[i];
-    if (matches(req, m)) {
-      req.complete = true;
-      req.matchedSource = m.src;
-      req.completeNs = std::max(m.arrivalNs, r.clock);
-      r.unexpected.erase(r.unexpected.begin() + static_cast<ssize_t>(i));
-      return true;
-    }
+    if (!matches(req, m)) continue;
+    if (best == r.unexpected.size() || m.src < r.unexpected[best].src) best = i;
+    if (req.peer != trace::kAnySource) break;
   }
-  return false;
+  if (best == r.unexpected.size()) return false;
+  const Message& m = r.unexpected[best];
+  checkTruncation(req, m);
+  req.complete = true;
+  req.matchedSource = m.src;
+  req.completeNs = std::max(m.arrivalNs, r.clock);
+  r.unexpected.erase(r.unexpected.begin() + static_cast<ssize_t>(best));
+  return true;
 }
 
 Engine::Collective& Engine::collectiveSlot(int comm, int seq) {
@@ -227,11 +243,33 @@ OpStatus Engine::handleCollective(int rank, const OpDesc& d) {
   return OpStatus::Blocked;
 }
 
+bool Engine::maybeKill(int rank, const OpDesc& d) {
+  if (faults_.empty()) return false;
+  RankState& r = rs(rank);
+  const Fault* f = faults_.find(Fault::Kind::KillRank, rank, r.mpiCalls);
+  if (f == nullptr && ir::isCollective(d.op))
+    f = faults_.find(Fault::Kind::AbortCollective, rank, r.collCalls);
+  if (f == nullptr) return false;
+  // The rank dies *entering* the call: no event is emitted, no engine
+  // state is mutated (a collective never sees its arrival), and the
+  // observer is not finalized — its trace ends mid-stream, exactly like
+  // a process crash under real tracing.
+  r.dead = true;
+  r.deathDesc = d;
+  progress_ = true;  // dying is progress: the scheduler must not stall
+  return true;
+}
+
 OpStatus Engine::execute(int rank, const OpDesc& d, int64_t* reqIdOut) {
   RankState& r = rs(rank);
   CYP_CHECK(r.pending.kind == PendingKind::None,
             "rank " << rank << " issued an op while one is pending");
   CYP_CHECK(!r.finalized, "rank " << rank << " issued an op after finalize");
+  CYP_CHECK(!r.dead, "rank " << rank << " issued an op after being killed");
+
+  ++r.mpiCalls;
+  if (ir::isCollective(d.op)) ++r.collCalls;
+  if (maybeKill(rank, d)) return OpStatus::Failed;
 
   switch (d.op) {
     case ir::MpiOp::Send: {
@@ -241,7 +279,7 @@ OpStatus Engine::execute(int rank, const OpDesc& d, int64_t* reqIdOut) {
                 r.clock + jittered(net_.transferTime(d.bytes), rank), r.msgSeq++};
       const uint64_t cost = jittered(net_.sendOverhead(d.bytes), rank);
       r.clock += cost;
-      deliver(m);
+      injectSendFaults(rank, m);
       trace::Event e;
       e.op = d.op;
       e.peer = d.peer;
@@ -270,7 +308,7 @@ OpStatus Engine::execute(int rank, const OpDesc& d, int64_t* reqIdOut) {
       if (reqIdOut) *reqIdOut = id;
       Message m{rank, d.peer, d.tag, d.comm, d.bytes,
                 r.clock + jittered(net_.transferTime(d.bytes), rank), r.msgSeq++};
-      deliver(m);
+      injectSendFaults(rank, m);
       const uint64_t cost = static_cast<uint64_t>(net_.overheadNs);
       r.clock += cost;
       trace::Event e;
@@ -581,6 +619,179 @@ void Engine::finalizeRank(int rank) {
             "rank " << rank << " finalized with outstanding requests");
   r.finalized = true;
   if (r.observer) r.observer->onFinalize();
+}
+
+void Engine::injectSendFaults(int rank, Message m) {
+  RankState& r = rs(rank);
+  ++r.sendsIssued;
+  if (!faults_.empty()) {
+    if (faults_.find(Fault::Kind::DropMessage, rank, r.sendsIssued) != nullptr)
+      return;  // lost on the wire: never delivered, the sender is unaware
+    if (const Fault* f =
+            faults_.find(Fault::Kind::DelayMessage, rank, r.sendsIssued))
+      m.arrivalNs += f->delayNs;
+  }
+  deliver(m);
+}
+
+std::vector<int> Engine::deadRanks() const {
+  std::vector<int> dead;
+  for (int r = 0; r < numRanks(); ++r)
+    if (ranks_[static_cast<size_t>(r)].dead) dead.push_back(r);
+  return dead;
+}
+
+std::string Engine::RankDiagnostic::toString() const {
+  std::ostringstream os;
+  os << "rank " << rank << ": ";
+  switch (state) {
+    case State::Runnable:
+      os << "runnable (after " << callIndex << " MPI calls)";
+      break;
+    case State::Finalized:
+      os << "finalized (" << callIndex << " MPI calls)";
+      break;
+    case State::Dead:
+      os << "dead in " << op << " at MPI call #" << callIndex;
+      break;
+    case State::Blocked:
+      os << "blocked in " << op << " [peer=" << peer << " tag=" << tag
+         << " comm=" << comm;
+      if (seq >= 0) os << " seq=" << seq;
+      os << "] at MPI call #" << callIndex;
+      break;
+  }
+  if (!detail.empty()) os << " — " << detail;
+  return os.str();
+}
+
+Engine::RankDiagnostic Engine::diagnose(int rank) const {
+  const RankState& r = rs(rank);
+  RankDiagnostic d;
+  d.rank = rank;
+  d.callIndex = r.mpiCalls;
+  if (r.dead) {
+    d.state = RankDiagnostic::State::Dead;
+    d.op = ir::mpiOpName(r.deathDesc.op);
+    d.peer = r.deathDesc.peer;
+    d.tag = r.deathDesc.tag;
+    d.comm = r.deathDesc.comm;
+    d.detail = "killed by the fault plan";
+    return d;
+  }
+  if (r.finalized) {
+    d.state = RankDiagnostic::State::Finalized;
+    return d;
+  }
+  if (r.pending.kind == PendingKind::None) {
+    d.state = RankDiagnostic::State::Runnable;
+    return d;
+  }
+
+  d.state = RankDiagnostic::State::Blocked;
+  d.op = ir::mpiOpName(r.pending.desc.op);
+  d.peer = r.pending.desc.peer;
+  d.tag = r.pending.desc.tag;
+  d.comm = r.pending.desc.comm;
+  std::ostringstream why;
+  auto describePeer = [&](int32_t peer) {
+    if (peer == trace::kAnySource) {
+      why << "waiting on MPI_ANY_SOURCE";
+    } else if (peer >= 0 && peer < numRanks() &&
+               ranks_[static_cast<size_t>(peer)].dead) {
+      why << "peer rank " << peer << " is dead";
+    } else {
+      why << "no matching message from rank " << peer;
+    }
+  };
+  switch (r.pending.kind) {
+    case PendingKind::Recv: {
+      d.seq = r.pending.reqIdx;
+      describePeer(r.pending.desc.peer);
+      break;
+    }
+    case PendingKind::Wait: {
+      d.seq = r.pending.reqIdx;
+      const Request& q = r.requests[static_cast<size_t>(r.pending.reqIdx)];
+      d.peer = q.peer;
+      d.tag = q.tag;
+      d.comm = q.comm;
+      why << "request #" << r.pending.reqIdx << " ("
+          << ir::mpiOpName(q.kind) << ") incomplete; ";
+      describePeer(q.peer);
+      break;
+    }
+    case PendingKind::Waitall:
+    case PendingKind::Waitany:
+    case PendingKind::Waitsome: {
+      int incomplete = 0;
+      for (int64_t id : r.outstanding) {
+        const Request& q = r.requests[static_cast<size_t>(id)];
+        if (q.complete) continue;
+        if (incomplete++ > 0) why << ", ";
+        why << ir::mpiOpName(q.kind) << "(peer=" << q.peer
+            << " tag=" << q.tag << ")";
+        if (q.peer >= 0 && q.peer < numRanks() &&
+            ranks_[static_cast<size_t>(q.peer)].dead)
+          why << " [peer dead]";
+      }
+      if (incomplete > 0) why << " incomplete (" << incomplete << " total)";
+      break;
+    }
+    case PendingKind::Collective: {
+      d.seq = r.pending.reqIdx;
+      const auto it = collectives_.find(r.pending.desc.comm);
+      const auto baseIt = collBase_.find(r.pending.desc.comm);
+      if (it != collectives_.end() && baseIt != collBase_.end()) {
+        const auto& dq = it->second;
+        const size_t slot =
+            static_cast<size_t>(r.pending.reqIdx - baseIt->second);
+        if (slot < dq.size()) {
+          const Collective& c = dq[slot];
+          std::vector<int> missing, deadMissing;
+          for (int m : commMembers(r.pending.desc.comm)) {
+            if (c.arrivals[static_cast<size_t>(m)].has_value()) continue;
+            missing.push_back(m);
+            if (ranks_[static_cast<size_t>(m)].dead) deadMissing.push_back(m);
+          }
+          why << "waiting for rank";
+          if (missing.size() > 1) why << 's';
+          for (size_t i = 0; i < missing.size(); ++i)
+            why << (i ? "," : "") << ' ' << missing[i];
+          if (!deadMissing.empty()) {
+            why << " (dead:";
+            for (int m : deadMissing) why << ' ' << m;
+            why << ')';
+          }
+        }
+      }
+      break;
+    }
+    case PendingKind::None:
+      break;
+  }
+  d.detail = why.str();
+  return d;
+}
+
+std::string Engine::stallDump(const std::string& reason,
+                              const std::vector<int>& active) const {
+  std::ostringstream os;
+  os << reason;
+  if (!faults_.empty()) os << " [fault plan: " << faults_.toString() << ']';
+  os << '\n';
+  // Dead ranks first (the usual root cause), then every still-active rank.
+  for (int r : deadRanks()) os << "  " << diagnose(r).toString() << '\n';
+  for (int r : active) {
+    if (rs(r).dead) continue;
+    os << "  " << diagnose(r).toString() << '\n';
+  }
+  return os.str();
+}
+
+void Engine::failStalled(const std::vector<int>& active) const {
+  CYP_FAIL("MPI hang detected: no rank can make progress\n"
+           << stallDump("per-rank state:", active));
 }
 
 std::string Engine::pendingDescription(int rank) const {

@@ -17,13 +17,16 @@
 #include <vector>
 
 #include "ir/ir.hpp"
+#include "simmpi/fault.hpp"
 #include "simmpi/netmodel.hpp"
 #include "support/rng.hpp"
 #include "trace/observer.hpp"
 
 namespace cypress::simmpi {
 
-enum class OpStatus : uint8_t { Complete, Blocked };
+/// Failed: the issuing rank was killed by the fault plan; the rank is
+/// dead and must not issue further operations.
+enum class OpStatus : uint8_t { Complete, Blocked, Failed };
 
 /// One MPI operation as issued by a rank (already-evaluated arguments).
 struct OpDesc {
@@ -47,6 +50,8 @@ class Engine {
     /// as a fraction (0.1 = ±10%). Makes time statistics non-degenerate.
     double jitter = 0.05;
     uint64_t seed = 42;
+    /// Deterministic fault injection (see fault.hpp). Empty = no faults.
+    FaultPlan faults;
   };
 
   explicit Engine(const Config& cfg);
@@ -99,6 +104,39 @@ class Engine {
   /// Diagnostic snapshot of a blocked rank's pending condition.
   std::string pendingDescription(int rank) const;
 
+  /// True when the fault plan killed this rank.
+  bool rankDead(int rank) const { return rs(rank).dead; }
+  /// Ranks killed so far, ascending.
+  std::vector<int> deadRanks() const;
+  /// Number of MPI calls the rank has issued (the killing call included).
+  uint64_t mpiCallCount(int rank) const { return rs(rank).mpiCalls; }
+
+  /// Structured snapshot of one rank's state for failure diagnostics.
+  struct RankDiagnostic {
+    enum class State : uint8_t { Runnable, Blocked, Dead, Finalized };
+    int rank = 0;
+    State state = State::Runnable;
+    std::string op;          ///< pending (or killing) MPI op, empty if none
+    int32_t peer = -2;       ///< src/dst/root of the pending op
+    int32_t tag = -1;
+    int32_t comm = 0;
+    int64_t seq = -1;        ///< collective sequence / request index
+    uint64_t callIndex = 0;  ///< MPI calls issued by this rank so far
+    std::string detail;      ///< root-cause analysis, e.g. "peer is dead"
+    std::string toString() const;
+  };
+  RankDiagnostic diagnose(int rank) const;
+
+  /// Per-rank diagnostic dump of every rank in `active` (world ranks that
+  /// have not finished executing), preceded by `reason`. This is the
+  /// payload of the structured hang/deadlock error.
+  std::string stallDump(const std::string& reason,
+                        const std::vector<int>& active) const;
+
+  /// Terminate a stalled run deterministically: throws cypress::Error
+  /// carrying stallDump(). Never returns.
+  [[noreturn]] void failStalled(const std::vector<int>& active) const;
+
  private:
   struct Request {
     ir::MpiOp kind = ir::MpiOp::Isend;
@@ -145,6 +183,11 @@ class Engine {
     uint64_t msgSeq = 0;
     int64_t opResult = -1;  // CommSplit result handle
     bool finalized = false;
+    bool dead = false;         // killed by the fault plan
+    OpDesc deathDesc;          // the call the rank died entering
+    uint64_t mpiCalls = 0;     // execute() invocations (fault ordinals)
+    uint64_t collCalls = 0;    // collective calls (AbortCollective ordinals)
+    uint64_t sendsIssued = 0;  // p2p messages sent (Drop/Delay ordinals)
   };
 
   struct Collective {
@@ -172,10 +215,19 @@ class Engine {
   bool tryMatchRecv(int rank, int64_t reqIdx);
   void deliver(const Message& m);
   bool matches(const Request& r, const Message& m) const;
+  void checkTruncation(const Request& r, const Message& m) const;
 
   OpStatus handleCollective(int rank, const OpDesc& d);
   bool pendingSatisfied(int rank);
   void completePending(int rank);
+
+  /// Fault-plan check at the top of execute(): returns true when the
+  /// plan kills `rank` at this call (the rank is marked dead).
+  bool maybeKill(int rank, const OpDesc& d);
+
+  /// Deliver `m`, applying any drop/delay fault keyed to this sender's
+  /// current send ordinal.
+  void injectSendFaults(int rank, Message m);
 
   Collective& collectiveSlot(int comm, int seq);
 
@@ -186,6 +238,7 @@ class Engine {
   LogGP net_;
   double jitter_;
   Rng rng_;
+  FaultPlan faults_;
   // Collectives per communicator, indexed by sequence number.
   std::map<int, std::deque<Collective>> collectives_;
   std::map<int, int> collBase_;  // first live sequence number per comm

@@ -1,0 +1,135 @@
+// Deterministic fault injection for the simulated MPI engine.
+//
+// A FaultPlan is a list of faults keyed by (rank, ordinal): kill a rank
+// at its Nth MPI call, abort it inside its Nth collective, or drop/delay
+// the Nth point-to-point message it sends. Plans are plain data — the
+// engine consults them at well-defined points, so a given (program,
+// seed, plan) triple always fails identically. Seeded random plans
+// (randomFaultPlan) drive the fault-injection test matrix; the `cyptrace`
+// CLI parses the same specs from --fault flags.
+//
+// The contract enforced by the runtime and tests: every injected fault
+// ends in a recovered partial trace, a structured cypress::Error with
+// per-rank diagnostics, or a clean run — never a hang, crash, or
+// silently wrong trace.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace cypress::simmpi {
+
+/// One injected fault. Ordinals are 1-based ("the 3rd MPI call").
+struct Fault {
+  enum class Kind : uint8_t {
+    KillRank,         ///< rank dies entering its Nth MPI call
+    AbortCollective,  ///< rank dies entering its Nth *collective* call
+    DropMessage,      ///< the Nth p2p message `rank` sends is lost
+    DelayMessage,     ///< ... is delayed by `delayNs` instead
+  };
+
+  Kind kind = Kind::KillRank;
+  int rank = 0;        ///< the faulting rank (the sender for Drop/Delay)
+  uint64_t nth = 1;    ///< 1-based call / message ordinal
+  uint64_t delayNs = 0;
+
+  std::string toString() const {
+    std::ostringstream os;
+    switch (kind) {
+      case Kind::KillRank: os << "kill:"; break;
+      case Kind::AbortCollective: os << "abort:"; break;
+      case Kind::DropMessage: os << "drop:"; break;
+      case Kind::DelayMessage: os << "delay:"; break;
+    }
+    os << rank << '@' << nth;
+    if (kind == Kind::DelayMessage) os << ':' << delayNs;
+    return os.str();
+  }
+};
+
+/// The set of faults injected into one run.
+struct FaultPlan {
+  std::vector<Fault> faults;
+
+  bool empty() const { return faults.empty(); }
+
+  /// First fault of `kind` for `rank` with ordinal `nth`, or nullptr.
+  const Fault* find(Fault::Kind kind, int rank, uint64_t nth) const {
+    for (const Fault& f : faults)
+      if (f.kind == kind && f.rank == rank && f.nth == nth) return &f;
+    return nullptr;
+  }
+
+  std::string toString() const {
+    std::string s;
+    for (const Fault& f : faults) {
+      if (!s.empty()) s += ' ';
+      s += f.toString();
+    }
+    return s.empty() ? "(no faults)" : s;
+  }
+};
+
+/// Parse one CLI fault spec:
+///   kill:R@N   abort:R@N   drop:R@N   delay:R@N:NS
+/// Throws cypress::Error on malformed specs.
+inline Fault parseFaultSpec(const std::string& spec) {
+  const auto colon = spec.find(':');
+  CYP_CHECK(colon != std::string::npos, "fault spec '" << spec
+                                            << "' has no kind prefix");
+  const std::string kind = spec.substr(0, colon);
+  Fault f;
+  if (kind == "kill") f.kind = Fault::Kind::KillRank;
+  else if (kind == "abort") f.kind = Fault::Kind::AbortCollective;
+  else if (kind == "drop") f.kind = Fault::Kind::DropMessage;
+  else if (kind == "delay") f.kind = Fault::Kind::DelayMessage;
+  else CYP_FAIL("unknown fault kind '" << kind << "' in '" << spec << "'");
+
+  std::istringstream body(spec.substr(colon + 1));
+  char at = 0;
+  long long rank = -1, nth = -1;
+  body >> rank >> at >> nth;
+  CYP_CHECK(!body.fail() && at == '@' && rank >= 0 && nth >= 1,
+            "fault spec '" << spec << "' is not <kind>:<rank>@<nth>");
+  f.rank = static_cast<int>(rank);
+  f.nth = static_cast<uint64_t>(nth);
+  if (f.kind == Fault::Kind::DelayMessage) {
+    char sep = 0;
+    long long ns = -1;
+    body >> sep >> ns;
+    CYP_CHECK(!body.fail() && sep == ':' && ns >= 0,
+              "delay fault '" << spec << "' needs a :<delayNs> suffix");
+    f.delayNs = static_cast<uint64_t>(ns);
+  }
+  CYP_CHECK(body.get() == std::istringstream::traits_type::eof(),
+            "trailing characters in fault spec '" << spec << "'");
+  return f;
+}
+
+/// Seeded random single-fault plan over `numRanks` ranks and ops in the
+/// first `maxOrdinal` calls — the unit of the fault-injection matrix.
+inline FaultPlan randomFaultPlan(uint64_t seed, int numRanks,
+                                 uint64_t maxOrdinal = 24) {
+  Rng rng(seed);
+  Fault f;
+  switch (rng.below(4)) {
+    case 0: f.kind = Fault::Kind::KillRank; break;
+    case 1: f.kind = Fault::Kind::AbortCollective; break;
+    case 2: f.kind = Fault::Kind::DropMessage; break;
+    default: f.kind = Fault::Kind::DelayMessage; break;
+  }
+  f.rank = static_cast<int>(rng.below(static_cast<uint64_t>(numRanks)));
+  f.nth = 1 + rng.below(maxOrdinal);
+  if (f.kind == Fault::Kind::DelayMessage)
+    f.delayNs = 1000 + rng.below(5'000'000);
+  FaultPlan plan;
+  plan.faults.push_back(f);
+  return plan;
+}
+
+}  // namespace cypress::simmpi

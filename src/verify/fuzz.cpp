@@ -71,6 +71,27 @@ std::string FuzzReport::toString() const {
   return os.str();
 }
 
+FuzzReport truncationSweep(std::span<const uint8_t> good, const Decoder& decode,
+                           size_t stride) {
+  if (stride == 0) stride = 1;
+  FuzzReport rep;
+  for (size_t len = 0; len < good.size(); len += stride) {
+    ++rep.mutants;
+    try {
+      decode(good.subspan(0, len));
+      ++rep.accepted;
+    } catch (const Error&) {
+      ++rep.rejected;
+    } catch (const std::exception& e) {
+      rep.failures.push_back(FuzzFailure{static_cast<int>(len), e.what()});
+    } catch (...) {
+      rep.failures.push_back(
+          FuzzFailure{static_cast<int>(len), "non-standard exception"});
+    }
+  }
+  return rep;
+}
+
 FuzzReport corruptionFuzz(std::span<const uint8_t> good, const Decoder& decode,
                           const FuzzOptions& opts) {
   Rng rng(opts.seed);

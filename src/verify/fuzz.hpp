@@ -51,4 +51,12 @@ struct FuzzReport {
 FuzzReport corruptionFuzz(std::span<const uint8_t> good, const Decoder& decode,
                           const FuzzOptions& opts = {});
 
+/// Exhaustive truncation sweep: decode every strict prefix of `good`
+/// (lengths 0, stride, 2*stride, ... < size). Same contract as
+/// corruptionFuzz; FuzzFailure::index is the prefix length. This covers
+/// in particular every segment boundary of framed formats (CYJ1), where
+/// a kill mid-write tears the file at an arbitrary byte.
+FuzzReport truncationSweep(std::span<const uint8_t> good, const Decoder& decode,
+                           size_t stride = 1);
+
 }  // namespace cypress::verify

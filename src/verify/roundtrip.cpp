@@ -8,6 +8,7 @@
 #include "scalatrace/inter.hpp"
 #include "scalatrace/recorder.hpp"
 #include "support/error.hpp"
+#include "trace/journal.hpp"
 
 namespace cypress::verify {
 
@@ -203,6 +204,22 @@ Report verifyTraceFile(std::span<const uint8_t> data) {
       const auto again = flate::decompress(flate::compress(content));
       requireSameBytes(content, again, "flate content");
     });
+  } else if (std::memcmp(magic, "CYJ1", 4) == 0) {
+    // Journals have no canonical re-serializer (flush boundaries are a
+    // runtime artifact); the invariants are strict-parse validity and
+    // salvage/strict agreement on an intact journal.
+    rep.run("journal: strict parse", [&] { trace::parseJournal(data); });
+    rep.run("journal: recovery agrees with strict parse", [&] {
+      const auto strict = trace::parseJournal(data);
+      const auto salvaged = trace::recoverJournal(data);
+      CYP_CHECK(salvaged.sealed && salvaged.bytesDiscarded == 0,
+                "journal recovery discarded bytes from an intact journal");
+      CYP_CHECK(strict.trace.ranks.size() == salvaged.trace.ranks.size(),
+                "journal recovery rank count mismatch");
+      for (size_t r = 0; r < strict.trace.ranks.size(); ++r)
+        CYP_CHECK(strict.trace.ranks[r].events == salvaged.trace.ranks[r].events,
+                  "journal recovery diverges on rank " << r);
+    });
   } else {
     CYP_FAIL("unknown trace magic '" << magic << "'");
   }
@@ -223,6 +240,8 @@ void decodeTraceFile(std::span<const uint8_t> data) {
     scalatrace::MergedSeq::deserialize(data);
   } else if (std::memcmp(magic, "CYF1", 4) == 0) {
     flate::decompress(data);
+  } else if (std::memcmp(magic, "CYJ1", 4) == 0) {
+    trace::parseJournal(data);
   } else {
     CYP_FAIL("unknown trace magic '" << magic << "'");
   }

@@ -1,7 +1,7 @@
 // Trace-validation and roundtrip-verification subsystem.
 //
 // Every on-disk format in the repository (CYPC, CYPP, CYTR, STR1, STM1,
-// CYF1) has a serializer and a hardened deserializer; this module proves
+// CYF1, CYJ1) has a serializer and a hardened deserializer; this module proves
 // the two are inverse of each other on real data. The core property is
 // *byte stability*: serialize → deserialize → re-serialize must
 // reproduce the input bit-for-bit, which implies the deserializer loses

@@ -1,7 +1,6 @@
 #include "vm/runner.hpp"
 
 #include <memory>
-#include <sstream>
 
 #include "support/error.hpp"
 
@@ -9,7 +8,7 @@ namespace cypress::vm {
 
 RunResult run(const ir::Module& m, simmpi::Engine& engine,
               const std::vector<trace::Observer*>& observers,
-              uint64_t instructionLimitPerRank) {
+              const RunOptions& opts) {
   const int numRanks = engine.numRanks();
   CYP_CHECK(static_cast<int>(observers.size()) == numRanks,
             "observers size " << observers.size() << " != ranks " << numRanks);
@@ -19,9 +18,10 @@ RunResult run(const ir::Module& m, simmpi::Engine& engine,
   for (int r = 0; r < numRanks; ++r) {
     vms.push_back(std::make_unique<RankVM>(m, r, engine,
                                            observers[static_cast<size_t>(r)]));
-    vms.back()->setInstructionLimit(instructionLimitPerRank);
+    vms.back()->setInstructionLimit(opts.instructionLimitPerRank);
   }
 
+  RunResult out;
   int finished = 0;
   engine.takeProgressFlag();  // reset
   while (finished < numRanks) {
@@ -38,17 +38,19 @@ RunResult run(const ir::Module& m, simmpi::Engine& engine,
       }
     }
     if (!sweepProgress && !engine.takeProgressFlag() && finished < numRanks) {
-      std::ostringstream os;
-      os << "deadlock: no rank can make progress\n";
-      for (int r = 0; r < numRanks; ++r) {
-        if (!vms[static_cast<size_t>(r)]->finished())
-          os << "  " << engine.pendingDescription(r) << "\n";
-      }
-      throw Error(os.str());
+      // No VM advanced and the engine completed nothing: every remaining
+      // rank is permanently stuck. Terminate deterministically.
+      std::vector<int> active;
+      for (int r = 0; r < numRanks; ++r)
+        if (!vms[static_cast<size_t>(r)]->finished()) active.push_back(r);
+      if (opts.onStall == OnStall::Throw) engine.failStalled(active);
+      out.stalledRanks = active;
+      out.stallDiagnostics = engine.stallDump("stalled ranks:", active);
+      break;
     }
   }
 
-  RunResult out;
+  out.deadRanks = engine.deadRanks();
   out.executionNs = engine.executionTimeNs();
   for (int r = 0; r < numRanks; ++r) {
     out.totalInstructions += vms[static_cast<size_t>(r)]->instructionsExecuted();
@@ -56,6 +58,14 @@ RunResult run(const ir::Module& m, simmpi::Engine& engine,
     out.rankClockNs.push_back(engine.clockNs(r));
   }
   return out;
+}
+
+RunResult run(const ir::Module& m, simmpi::Engine& engine,
+              const std::vector<trace::Observer*>& observers,
+              uint64_t instructionLimitPerRank) {
+  RunOptions opts;
+  opts.instructionLimitPerRank = instructionLimitPerRank;
+  return run(m, engine, observers, opts);
 }
 
 }  // namespace cypress::vm

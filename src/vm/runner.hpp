@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "ir/ir.hpp"
@@ -11,16 +12,39 @@
 
 namespace cypress::vm {
 
+/// What to do when no rank can make progress (deadlock / hang).
+///   Throw:   raise cypress::Error with the engine's per-rank stall dump.
+///   Salvage: stop the run and report the stalled ranks in RunResult, so
+///            the caller can still recover the surviving ranks' traces.
+enum class OnStall : uint8_t { Throw, Salvage };
+
+struct RunOptions {
+  uint64_t instructionLimitPerRank = 1ull << 40;
+  OnStall onStall = OnStall::Throw;
+};
+
 struct RunResult {
   uint64_t executionNs = 0;           // measured program time (max rank clock)
   uint64_t totalInstructions = 0;
   std::vector<uint64_t> rankCommNs;   // per-rank time inside MPI ops
   std::vector<uint64_t> rankClockNs;  // per-rank final clock
+  std::vector<int> deadRanks;         // ranks killed by the fault plan
+  std::vector<int> stalledRanks;      // ranks still blocked at salvage time
+  std::string stallDiagnostics;       // per-rank dump when the run stalled
+
+  /// True when every rank ran to MPI_Finalize.
+  bool clean() const { return deadRanks.empty() && stalledRanks.empty(); }
 };
 
 /// Execute one program on `engine` with one observer per rank (entries
-/// may be null). Throws cypress::Error on deadlock, with a dump of every
-/// blocked rank's pending operation.
+/// may be null). On deadlock, OnStall::Throw (the default) raises
+/// cypress::Error with a per-rank diagnostic dump; OnStall::Salvage
+/// returns normally with the stalled ranks recorded in the result.
+RunResult run(const ir::Module& m, simmpi::Engine& engine,
+              const std::vector<trace::Observer*>& observers,
+              const RunOptions& opts);
+
+/// Backward-compatible overload (OnStall::Throw).
 RunResult run(const ir::Module& m, simmpi::Engine& engine,
               const std::vector<trace::Observer*>& observers,
               uint64_t instructionLimitPerRank = 1ull << 40);

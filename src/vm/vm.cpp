@@ -139,6 +139,13 @@ bool RankVM::executeInstr(const ir::Instr& i) {
       }
       int64_t reqId = -1;
       const simmpi::OpStatus st = engine_.execute(rank_, d, &reqId);
+      if (st == simmpi::OpStatus::Failed) {
+        // Killed by the fault plan: abandon the frame stack without
+        // finalizing the rank or its observer.
+        died_ = true;
+        finished_ = true;
+        return false;
+      }
       if (ir::isNonBlockingStart(i.mpiOp))
         f.vars[static_cast<size_t>(i.reqVar)] = reqId;
       if (st == simmpi::OpStatus::Blocked) {

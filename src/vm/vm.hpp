@@ -30,6 +30,10 @@ class RankVM {
   StepResult step();
 
   bool finished() const { return finished_; }
+  /// True when the fault plan killed this rank mid-program. The VM is
+  /// finished() but the frame stack was abandoned and the observer was
+  /// never finalized — the rank's trace ends mid-stream, like a crash.
+  bool died() const { return died_; }
   int rank() const { return rank_; }
   uint64_t instructionsExecuted() const { return instructions_; }
 
@@ -59,6 +63,7 @@ class RankVM {
   std::vector<Frame> frames_;
   bool waitingOnEngine_ = false;
   bool finished_ = false;
+  bool died_ = false;
   uint64_t instructions_ = 0;
   uint64_t instructionLimit_ = 1ull << 40;
 };

@@ -75,7 +75,10 @@ TEST(EngineUnit, NonOvertakingSameTag) {
   EXPECT_EQ(rt.events[1].bytes, 222);
 }
 
-TEST(EngineUnit, WildcardMatchesEarliestArrival) {
+TEST(EngineUnit, WildcardMatchesLowestSourceNotArrivalOrder) {
+  // MPI_ANY_SOURCE matching must be a function of the set of buffered
+  // messages, not of the delivery schedule that built it: the lowest
+  // source rank wins even when a higher rank's message arrived first.
   Engine e = makeEngine(3);
   e.execute(2, send(0, 5, 9));
   e.execute(1, send(0, 5, 9));
@@ -84,7 +87,60 @@ TEST(EngineUnit, WildcardMatchesEarliestArrival) {
   e.setObserver(0, &rec);
   EXPECT_EQ(e.execute(0, recv(trace::kAnySource, 5, 9)), OpStatus::Complete);
   ASSERT_EQ(rt.events.size(), 1u);
-  EXPECT_EQ(rt.events[0].matchedSource, 2);  // rank 2 sent first
+  EXPECT_EQ(rt.events[0].matchedSource, 1);  // lowest source, not first arrival
+}
+
+TEST(EngineUnit, WildcardIsFifoWithinOnePair) {
+  // Two wildcard receives draining two buffered same-tag messages from
+  // one sender must preserve that sender's FIFO order (non-overtaking).
+  // The first posted receive has room only for the first (smaller)
+  // message, so matching the later, larger one instead would raise the
+  // MPI_ERR_TRUNCATE check.
+  Engine e = makeEngine(2);
+  e.execute(1, send(0, 111, 3));
+  e.execute(1, send(0, 222, 3));
+  trace::RankTrace rt;
+  trace::RawRecorder rec(rt);
+  e.setObserver(0, &rec);
+  EXPECT_EQ(e.execute(0, recv(trace::kAnySource, 111, 3)), OpStatus::Complete);
+  EXPECT_EQ(e.execute(0, recv(trace::kAnySource, 222, 3)), OpStatus::Complete);
+  ASSERT_EQ(rt.events.size(), 2u);
+  EXPECT_EQ(rt.events[0].matchedSource, 1);
+  EXPECT_EQ(rt.events[1].matchedSource, 1);
+}
+
+TEST(EngineUnit, TruncationCheckedOnTheMatchedMessageOnly) {
+  // A too-large message from a *different* pair must not trip the
+  // truncation check while scanning for a specific-source match.
+  Engine e = makeEngine(3);
+  e.execute(2, send(0, 4096, 3));  // big message, wrong source
+  e.execute(1, send(0, 64, 3));
+  EXPECT_EQ(e.execute(0, recv(1, 64, 3)), OpStatus::Complete);
+  // But actually matching an oversized message is MPI_ERR_TRUNCATE.
+  EXPECT_THROW(e.execute(0, recv(2, 64, 3)), Error);
+}
+
+TEST(EngineUnit, WildcardMatchIndependentOfDeliverySchedule) {
+  // A perturbed delivery schedule (senders issuing in different orders)
+  // buffers the same message set, so the wildcard receiver must produce
+  // an identical matched-source sequence either way.
+  auto drain = [](const std::vector<int>& sendOrder) {
+    Engine e = makeEngine(4);
+    for (int s : sendOrder) e.execute(s, send(0, 8, 1));
+    trace::RankTrace rt;
+    trace::RawRecorder rec(rt);
+    e.setObserver(0, &rec);
+    for (size_t i = 0; i < sendOrder.size(); ++i)
+      EXPECT_EQ(e.execute(0, recv(trace::kAnySource, 8, 1)),
+                OpStatus::Complete);
+    std::vector<int> matched;
+    for (const auto& ev : rt.events) matched.push_back(ev.matchedSource);
+    return matched;
+  };
+  const auto a = drain({3, 1, 2});
+  const auto b = drain({2, 3, 1});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, (std::vector<int>{1, 2, 3}));
 }
 
 TEST(EngineUnit, IssuingWhilePendingIsAnError) {

@@ -12,6 +12,7 @@
 #include "scalatrace/inter.hpp"
 #include "scalatrace/recorder.hpp"
 #include "support/error.hpp"
+#include "trace/journal.hpp"
 #include "verify/fuzz.hpp"
 #include "verify/roundtrip.hpp"
 #include "workloads/workloads.hpp"
@@ -23,6 +24,16 @@ driver::RunOutput runAllTools(const std::string& name, int procs) {
   driver::Options opts;
   opts.procs = procs;
   return driver::runWorkload(name, opts);
+}
+
+std::vector<uint8_t> journalBytes(const std::string& name, int procs) {
+  driver::Options opts;
+  opts.procs = procs;
+  opts.withScala = false;
+  opts.withScala2 = false;
+  opts.withJournal = true;
+  opts.journalFlushEvery = 8;
+  return driver::runWorkload(name, opts).journal->bytes();
 }
 
 // ---------------------------------------------------------------------------
@@ -77,6 +88,7 @@ TEST(Roundtrip, VerifyTraceFileDispatchesOnMagic) {
   EXPECT_TRUE(verify::verifyTraceFile(mergedScala.serialize()).ok());
   EXPECT_TRUE(
       verify::verifyTraceFile(flate::compress(run.raw.serialize())).ok());
+  EXPECT_TRUE(verify::verifyTraceFile(journalBytes("JACOBI", 8)).ok());
 
   const std::vector<uint8_t> junk = {9, 9, 9, 9, 9, 9};
   EXPECT_THROW(verify::verifyTraceFile(junk), Error);
@@ -151,6 +163,43 @@ TEST(Fuzz, FlateContainer) {
   expectFuzzClean(bytes,
                   [](std::span<const uint8_t> d) { flate::decompress(d); },
                   /*seed=*/5);
+}
+
+TEST(Fuzz, JournalStrictParser) {
+  // The CYJ1 strict parser is a deserializer like any other: arbitrary
+  // mutations must decode or raise cypress::Error, nothing else.
+  const auto bytes = journalBytes("CG", 8);
+  expectFuzzClean(bytes,
+                  [](std::span<const uint8_t> d) { trace::parseJournal(d); },
+                  /*seed=*/7);
+}
+
+TEST(Fuzz, JournalRecoveryPath) {
+  // The lenient salvage reader must uphold the same exception contract
+  // while accepting (by design) most torn/truncated mutants.
+  const auto bytes = journalBytes("CG", 8);
+  verify::FuzzOptions fo;
+  fo.seed = 8;
+  fo.mutations = kMutations;
+  const verify::FuzzReport rep = verify::corruptionFuzz(
+      bytes, [](std::span<const uint8_t> d) { trace::recoverJournal(d); }, fo);
+  EXPECT_TRUE(rep.ok()) << rep.toString();
+  // Salvage accepts damaged tails instead of rejecting them.
+  EXPECT_GT(rep.accepted, rep.mutants / 2) << rep.toString();
+}
+
+TEST(Truncation, JournalSweepStrictRejectsEveryPrefixLenientAcceptsBody) {
+  const auto bytes = journalBytes("JACOBI", 8);
+  // Strict: a journal cut anywhere is unsealed or torn → always Error.
+  const auto strict = verify::truncationSweep(
+      bytes, [](std::span<const uint8_t> d) { trace::parseJournal(d); });
+  EXPECT_TRUE(strict.ok()) << strict.toString();
+  EXPECT_EQ(strict.rejected, strict.mutants) << strict.toString();
+  // Lenient: every prefix past the tiny header must salvage cleanly.
+  const auto lenient = verify::truncationSweep(
+      bytes, [](std::span<const uint8_t> d) { trace::recoverJournal(d); });
+  EXPECT_TRUE(lenient.ok()) << lenient.toString();
+  EXPECT_GT(lenient.accepted, lenient.mutants - 16) << lenient.toString();
 }
 
 TEST(Fuzz, WholeFileDecoderHandlesArbitraryPrefixes) {

@@ -1,8 +1,17 @@
 // cyptrace — command-line front end for the CYPRESS tracing pipeline.
 //
 //   cyptrace run  <workload|file.mc> --procs N [--scale S] [--out F.cyp]
+//                 [--fault SPEC]... [--journal F.cyj] [--salvage]
 //       Trace a built-in workload (BT, CG, ..., LESLIE3D) or a MiniC
 //       source file with CYPRESS and write the merged compressed trace.
+//       --fault injects deterministic faults (kill:R@N, abort:R@N,
+//       drop:R@N, delay:R@N:NS); --journal also writes a
+//       crash-consistent CYJ1 event journal; --salvage turns deadlocks
+//       into partial traces instead of errors.
+//   cyptrace recover <F.cyj> [--out F.cytr]
+//       Salvage a (possibly torn) CYJ1 journal: replay intact segments,
+//       report lost/unfinalized ranks, optionally write the recovered
+//       raw trace.
 //   cyptrace info <F.cyp>
 //       Show the embedded CST and per-tool statistics of a trace file.
 //   cyptrace dump <F.cyp> --rank R [--limit N] [--otf]
@@ -60,12 +69,18 @@ struct Args {
   std::string net = "ib";
   int fuzz = 0;
   uint64_t seed = 0xC4B8E55;
+  std::vector<std::string> faultSpecs;
+  std::string journal;
+  bool salvage = false;
 };
 
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage:\n"
                "  cyptrace run <workload|file.mc> --procs N [--scale S] [--out F.cyp]\n"
+               "               [--fault SPEC]... [--journal F.cyj] [--salvage]\n"
+               "               (SPEC: kill:R@N | abort:R@N | drop:R@N | delay:R@N:NS)\n"
+               "  cyptrace recover <F.cyj> [--out F.cytr]\n"
                "  cyptrace info <F.cyp>\n"
                "  cyptrace dump <F.cyp> [--rank R] [--limit N] [--otf]\n"
                "  cyptrace replay <F.cyp> [--net ib|eth]\n"
@@ -106,6 +121,9 @@ Args parse(int argc, char** argv) {
     else if (flag == "--otf") a.otf = true;
     else if (flag == "--fuzz") a.fuzz = std::stoi(value());
     else if (flag == "--seed") a.seed = std::stoull(value());
+    else if (flag == "--fault") a.faultSpecs.push_back(value());
+    else if (flag == "--journal") a.journal = value();
+    else if (flag == "--salvage") a.salvage = true;
     else usage();
   }
   return a;
@@ -137,6 +155,10 @@ driver::RunOutput runTarget(const Args& a, bool allTools) {
   opts.scale = a.scale;
   opts.withScala = allTools;
   opts.withScala2 = allTools;
+  for (const std::string& spec : a.faultSpecs)
+    opts.engine.faults.faults.push_back(simmpi::parseFaultSpec(spec));
+  opts.withJournal = !a.journal.empty();
+  opts.onStall = a.salvage ? vm::OnStall::Salvage : vm::OnStall::Throw;
   if (a.target.size() > 3 &&
       a.target.compare(a.target.size() - 3, 3, ".mc") == 0) {
     return driver::runSource(a.target, readFile(a.target), opts);
@@ -153,6 +175,57 @@ int cmdRun(const Args& a) {
   std::printf("traced %s on %d ranks: %zu events -> %s (%s)\n", a.target.c_str(),
               a.procs, run.raw.totalEvents(), out.c_str(),
               humanBytes(bytes.size()).c_str());
+  if (!run.runStats.clean()) {
+    std::printf("partial run:");
+    for (int r : run.runStats.deadRanks) std::printf(" rank %d killed", r);
+    for (int r : run.runStats.stalledRanks) std::printf(" rank %d stalled", r);
+    std::printf("\n");
+    if (!run.runStats.stallDiagnostics.empty())
+      std::fputs(run.runStats.stallDiagnostics.c_str(), stdout);
+    std::printf("merged trace covers survivors; lost ranks annotated: %zu\n",
+                merged.lostRanks().size());
+  }
+  if (run.journal != nullptr) {
+    writeFile(a.journal, run.journal->bytes());
+    std::printf("journal: %s (%s, %llu events, sealed)\n", a.journal.c_str(),
+                humanBytes(run.journal->bytes().size()).c_str(),
+                static_cast<unsigned long long>(run.journal->totalEvents()));
+  }
+  return 0;
+}
+
+int cmdRecover(const Args& a) {
+  const auto bytes = readBytes(a.target);
+  const trace::JournalRecovery rec = trace::recoverJournal(bytes);
+  size_t events = 0;
+  for (const auto& rt : rec.trace.ranks) events += rt.events.size();
+  std::printf("%s: %s, %zu segments, %zu events on %zu ranks\n",
+              a.target.c_str(), humanBytes(bytes.size()).c_str(),
+              rec.segmentsRecovered, events, rec.trace.ranks.size());
+  if (rec.sealed) {
+    std::printf("sealed journal (complete)\n");
+  } else {
+    std::printf("unsealed journal: recovered the intact prefix, "
+                "%zu trailing bytes discarded\n",
+                rec.bytesDiscarded);
+  }
+  std::printf("finalized ranks: %zu", rec.finalizedRanks.size());
+  if (!rec.lostRanks.empty()) {
+    std::printf("; lost ranks:");
+    for (int32_t r : rec.lostRanks.ranks()) std::printf(" %d", r);
+  }
+  const auto open = rec.unfinalizedRanks();
+  if (!open.empty()) {
+    std::printf("; unfinalized ranks:");
+    for (int r : open) std::printf(" %d", r);
+  }
+  std::printf("\n");
+  if (!a.out.empty()) {
+    const auto raw = rec.trace.serialize();
+    writeFile(a.out, raw);
+    std::printf("recovered raw trace -> %s (%s)\n", a.out.c_str(),
+                humanBytes(raw.size()).c_str());
+  }
   return 0;
 }
 
@@ -305,6 +378,7 @@ int main(int argc, char** argv) {
   try {
     const Args a = parse(argc, argv);
     if (a.command == "run") return cmdRun(a);
+    if (a.command == "recover") return cmdRecover(a);
     if (a.command == "info") return cmdInfo(a);
     if (a.command == "dump") return cmdDump(a);
     if (a.command == "replay") return cmdReplay(a);
