@@ -1,0 +1,178 @@
+// cyperf — end-to-end pipeline stage timings across thread counts.
+//
+// Times each stage of the trace→compress→merge pipeline (compile, run,
+// build, merge, serialize, flate) on fig15 NPB workloads at procs >= 32
+// for threads in {1,2,4,8}, prints a table, and writes
+// BENCH_pipeline.json so future changes have a perf trajectory to
+// regress against. The traced VM run is inherently serial (ranks step
+// in lockstep); every post-run stage fans out on the shared pool.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "cst/builder.hpp"
+#include "cypress/merge.hpp"
+#include "flate/flate.hpp"
+#include "minic/compile.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+#include "trace/observer.hpp"
+#include "vm/runner.hpp"
+#include "workloads/workloads.hpp"
+
+using namespace cypress;
+
+namespace {
+
+struct Stages {
+  double compile = 0, run = 0, build = 0, merge = 0, serialize = 0, flate = 0;
+  double total() const {
+    return compile + run + build + merge + serialize + flate;
+  }
+};
+
+Stages timeOnce(const std::string& name, int procs, int threads) {
+  const workloads::Workload& w = workloads::get(name);
+  const std::string source = w.source(procs, 1);
+  Stages t;
+  Stopwatch sw;
+
+  // compile: MiniC front end + CYPRESS static phase (CST construction).
+  auto module = minic::compileProgram(source);
+  cst::StaticResult sr = cst::analyzeAndInstrument(*module);
+  cst::Tree cst = std::move(sr.cst);
+  t.compile = sw.seconds();
+
+  // run: traced simulated execution (serial — ranks step in lockstep).
+  sw.restart();
+  simmpi::Engine::Config cfg;
+  cfg.numRanks = procs;
+  simmpi::Engine engine(cfg);
+  trace::RawTrace raw;
+  raw.ranks.resize(static_cast<size_t>(procs));
+  std::vector<std::unique_ptr<trace::RawRecorder>> raws;
+  std::vector<std::unique_ptr<core::CttRecorder>> cypress;
+  std::vector<std::unique_ptr<trace::TeeObserver>> tees;
+  std::vector<trace::Observer*> obs;
+  for (int r = 0; r < procs; ++r) {
+    auto tee = std::make_unique<trace::TeeObserver>();
+    raw.ranks[static_cast<size_t>(r)].rank = r;
+    raws.push_back(
+        std::make_unique<trace::RawRecorder>(raw.ranks[static_cast<size_t>(r)]));
+    tee->add(raws.back().get());
+    cypress.push_back(std::make_unique<core::CttRecorder>(cst, r));
+    tee->add(cypress.back().get());
+    tees.push_back(std::move(tee));
+    obs.push_back(tees.back().get());
+  }
+  vm::RunOptions runOpts;
+  runOpts.instructionLimitPerRank = 1ull << 34;
+  vm::run(*module, engine, obs, runOpts);
+  t.run = sw.seconds();
+
+  // build: per-rank CYPP trace files (serialize + compress, pool tasks).
+  sw.restart();
+  std::vector<std::vector<uint8_t>> rankFiles(static_cast<size_t>(procs));
+  parallelFor(static_cast<size_t>(procs), threads, [&](size_t r) {
+    rankFiles[r] = flate::compress(cypress[r]->ctt().serialize());
+  });
+  t.build = sw.seconds();
+
+  // merge: the O(n log P) inter-process reduction.
+  sw.restart();
+  std::vector<const core::Ctt*> ctts;
+  for (const auto& c : cypress) ctts.push_back(&c->ctt());
+  core::MergedCtt merged = core::mergeAll(std::move(ctts), nullptr, threads);
+  t.merge = sw.seconds();
+
+  // serialize: merged CYPC + raw CYTR byte streams.
+  sw.restart();
+  const auto mergedBytes = merged.serialize();
+  const auto rawBytes = raw.serialize();
+  t.serialize = sw.seconds();
+
+  // flate: the general-purpose codec over both streams (sharded).
+  sw.restart();
+  const auto gz = flate::compress(rawBytes, flate::Level::Default, threads);
+  const auto cypGz = flate::compress(mergedBytes, flate::Level::Default, threads);
+  t.flate = sw.seconds();
+  (void)gz;
+  (void)cypGz;
+  (void)rankFiles;
+  return t;
+}
+
+Stages bestOf(const std::string& name, int procs, int threads, int reps) {
+  Stages best;
+  for (int i = 0; i < reps; ++i) {
+    Stages t = timeOnce(name, procs, threads);
+    if (i == 0 || t.total() < best.total()) best = t;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string outPath = argc > 1 ? argv[1] : "BENCH_pipeline.json";
+  const std::vector<std::pair<std::string, int>> targets = {
+      {"CG", 64}, {"LU", 64}, {"BT", 64}};
+  const std::vector<int> threadCounts = {1, 2, 4, 8};
+  const int reps = 3;
+
+  bench::header("cyperf — pipeline stage wall times (s) by thread count",
+                "the parallel merge of Fig. 18, SC'14 CYPRESS paper");
+  bench::row({"program", "procs", "threads", "compile", "run", "build",
+              "merge", "serialize", "flate", "total"});
+
+  std::string json = "{\n";
+  json += "  \"bench\": \"cyperf\",\n";
+  json += "  \"hardware_concurrency\": " +
+          std::to_string(std::thread::hardware_concurrency()) + ",\n";
+  json += "  \"shard_bytes\": " + std::to_string(flate::kShardBytes) + ",\n";
+  json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"entries\": [\n";
+  bool first = true;
+  for (const auto& [name, procs] : targets) {
+    std::vector<double> totals;
+    for (int threads : threadCounts) {
+      const Stages t = bestOf(name, procs, threads, reps);
+      totals.push_back(t.total());
+      bench::row({name, std::to_string(procs), std::to_string(threads),
+                  bench::secs(t.compile), bench::secs(t.run),
+                  bench::secs(t.build), bench::secs(t.merge),
+                  bench::secs(t.serialize), bench::secs(t.flate),
+                  bench::secs(t.total())});
+      std::fflush(stdout);
+      char buf[512];
+      std::snprintf(
+          buf, sizeof buf,
+          "%s    {\"workload\": \"%s\", \"procs\": %d, \"threads\": %d, "
+          "\"stages_s\": {\"compile\": %.6f, \"run\": %.6f, \"build\": %.6f, "
+          "\"merge\": %.6f, \"serialize\": %.6f, \"flate\": %.6f}, "
+          "\"total_s\": %.6f}",
+          first ? "" : ",\n", name.c_str(), procs, threads, t.compile, t.run,
+          t.build, t.merge, t.serialize, t.flate, t.total());
+      json += buf;
+      first = false;
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "  %s/%d: 8-thread speedup %.2fx\n",
+                  name.c_str(), procs, totals.front() / totals.back());
+    std::fputs(buf, stdout);
+  }
+  json += "\n  ]\n}\n";
+
+  std::FILE* f = std::fopen(outPath.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cyperf: cannot write %s\n", outPath.c_str());
+    return 1;
+  }
+  std::fputs(json.c_str(), f);
+  std::fclose(f);
+  std::printf("\nwrote %s\n", outPath.c_str());
+  return 0;
+}

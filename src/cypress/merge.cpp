@@ -1,12 +1,11 @@
 #include "cypress/merge.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <cstddef>
-#include <thread>
 
 #include "flate/flate.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace cypress::core {
 
@@ -132,28 +131,14 @@ MergedCtt mergeAll(std::vector<const Ctt*> ctts, CostMeter* interCost,
 
   // Binary-tree reduction (the paper's O(n log P) parallel merge). The
   // pairing is fixed, so single- and multi-threaded runs produce
-  // identical trees.
+  // identical trees. Each level's pair-merges are independent tasks on
+  // the shared pipeline pool.
   Stopwatch watch;
   while (level.size() > 1) {
     const size_t pairs = level.size() / 2;
-    if (threads > 1 && pairs > 1) {
-      std::atomic<size_t> nextPair{0};
-      auto worker = [&]() {
-        while (true) {
-          const size_t p = nextPair.fetch_add(1);
-          if (p >= pairs) return;
-          level[2 * p].absorb(std::move(level[2 * p + 1]));
-        }
-      };
-      std::vector<std::thread> pool;
-      const size_t n = std::min<size_t>(static_cast<size_t>(threads), pairs);
-      pool.reserve(n);
-      for (size_t t = 0; t < n; ++t) pool.emplace_back(worker);
-      for (auto& t : pool) t.join();
-    } else {
-      for (size_t p = 0; p < pairs; ++p)
-        level[2 * p].absorb(std::move(level[2 * p + 1]));
-    }
+    parallelFor(pairs, threads, [&](size_t p) {
+      level[2 * p].absorb(std::move(level[2 * p + 1]));
+    });
     std::vector<MergedCtt> next;
     next.reserve(pairs + 1);
     for (size_t p = 0; p < pairs; ++p) next.push_back(std::move(level[2 * p]));

@@ -2,6 +2,7 @@
 
 #include "flate/flate.hpp"
 #include "minic/compile.hpp"
+#include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "trace/observer.hpp"
 #include "workloads/workloads.hpp"
@@ -138,8 +139,21 @@ RunOutput runSource(const std::string& name, const std::string& source,
     out.journal->seal(out.lostRanks());
   }
 
+  // Per-rank fan-out (the paper's deployment model: every process
+  // writes its own compressed trace at finalize). Each rank's
+  // serialization + compression is an independent pool task — ranks
+  // share no state — and results land in rank-indexed slots, so the
+  // files are byte-identical for any thread count.
+  if (opts.emitRankTraces && opts.withCypress) {
+    out.rankTraceFiles.resize(out.cypress.size());
+    parallelFor(out.cypress.size(), opts.threads, [&](size_t r) {
+      if (!out.cypress[r]->finalized()) return;  // lost rank: empty entry
+      out.rankTraceFiles[r] = flate::compress(out.cypress[r]->ctt().serialize());
+    });
+  }
+
   if (opts.verifyRoundtrip) {
-    const verify::Report rep = verifyRun(out);
+    const verify::Report rep = verifyRun(out, opts.threads);
     CYP_CHECK(rep.ok(),
               "roundtrip verification failed for " << name << ":\n"
                                                    << rep.toString());
@@ -154,7 +168,8 @@ RunOutput runWorkload(const std::string& name, const Options& opts) {
   return runSource(name, w.source(opts.procs, opts.scale), opts);
 }
 
-core::MergedCtt mergeCypress(const RunOutput& run, CostMeter* cost) {
+core::MergedCtt mergeCypress(const RunOutput& run, CostMeter* cost,
+                             int threads) {
   CYP_CHECK(!run.cypress.empty(), "mergeCypress: run has no CYPRESS recorders");
   std::vector<const core::Ctt*> ctts;
   std::vector<int> ranks;
@@ -177,16 +192,16 @@ core::MergedCtt mergeCypress(const RunOutput& run, CostMeter* cost) {
     m.markLost(lost);
     return m;
   }
-  core::MergedCtt m = core::mergeAll(std::move(ctts), cost, 1, &ranks);
+  core::MergedCtt m = core::mergeAll(std::move(ctts), cost, threads, &ranks);
   m.markLost(lost);
   return m;
 }
 
-verify::Report verifyRun(const RunOutput& run) {
+verify::Report verifyRun(const RunOutput& run, int threads) {
   verify::Artifacts a;
   std::optional<core::MergedCtt> merged;
   if (!run.cypress.empty()) {
-    merged.emplace(mergeCypress(run));
+    merged.emplace(mergeCypress(run, nullptr, threads));
     a.merged = &*merged;
   }
   if (!run.raw.ranks.empty()) a.raw = &run.raw;
@@ -195,39 +210,54 @@ verify::Report verifyRun(const RunOutput& run) {
   return verify::verifyRoundtrip(a);
 }
 
-SizeReport computeSizes(const RunOutput& run) {
+SizeReport computeSizes(const RunOutput& run, int threads) {
   SizeReport rep;
+  // The four per-tool branches touch disjoint SizeReport fields and
+  // disjoint recorder state, so they fan out as independent pool tasks;
+  // the CYPRESS branch parallelizes further (merge reduction + flate
+  // shards) with the same budget.
+  std::vector<std::function<void()>> branches;
   if (!run.raw.ranks.empty()) {
-    const auto rawBytes = run.raw.serialize();
-    rep.rawBytes = rawBytes.size();
-    rep.gzipBytes = flate::compressedSize(rawBytes);
+    branches.push_back([&] {
+      const auto rawBytes = run.raw.serialize();
+      rep.rawBytes = rawBytes.size();
+      rep.gzipBytes = flate::compressedSize(rawBytes, flate::Level::Default, threads);
+    });
   }
   if (!run.scala.empty()) {
-    std::vector<const std::vector<scalatrace::Element>*> seqs;
-    for (const auto& r : run.scala) seqs.push_back(&r->sequence());
-    CostMeter cost;
-    auto merged = scalatrace::mergeSequences(seqs, scalatrace::Flavor::V1, &cost);
-    rep.scalaBytes = merged.serialize().size();
-    rep.scalaInterSeconds = cost.totalSeconds();
+    branches.push_back([&] {
+      std::vector<const std::vector<scalatrace::Element>*> seqs;
+      for (const auto& r : run.scala) seqs.push_back(&r->sequence());
+      CostMeter cost;
+      auto merged = scalatrace::mergeSequences(seqs, scalatrace::Flavor::V1, &cost);
+      rep.scalaBytes = merged.serialize().size();
+      rep.scalaInterSeconds = cost.totalSeconds();
+    });
   }
   if (!run.scala2.empty()) {
-    std::vector<const std::vector<scalatrace::Element>*> seqs;
-    for (const auto& r : run.scala2) seqs.push_back(&r->sequence());
-    CostMeter cost;
-    auto merged = scalatrace::mergeSequences(seqs, scalatrace::Flavor::V2, &cost);
-    const auto bytes = merged.serialize();
-    rep.scala2Bytes = bytes.size();
-    rep.scala2GzipBytes = flate::compressedSize(bytes);
-    rep.scala2InterSeconds = cost.totalSeconds();
+    branches.push_back([&] {
+      std::vector<const std::vector<scalatrace::Element>*> seqs;
+      for (const auto& r : run.scala2) seqs.push_back(&r->sequence());
+      CostMeter cost;
+      auto merged = scalatrace::mergeSequences(seqs, scalatrace::Flavor::V2, &cost);
+      const auto bytes = merged.serialize();
+      rep.scala2Bytes = bytes.size();
+      rep.scala2GzipBytes = flate::compressedSize(bytes, flate::Level::Default, threads);
+      rep.scala2InterSeconds = cost.totalSeconds();
+    });
   }
   if (!run.cypress.empty()) {
-    CostMeter cost;
-    auto merged = mergeCypress(run, &cost);
-    const auto bytes = merged.serialize();
-    rep.cypressBytes = bytes.size();
-    rep.cypressGzipBytes = flate::compressedSize(bytes);
-    rep.cypressInterSeconds = cost.totalSeconds();
+    branches.push_back([&] {
+      CostMeter cost;
+      auto merged = mergeCypress(run, &cost, threads);
+      const auto bytes = merged.serialize();
+      rep.cypressBytes = bytes.size();
+      rep.cypressGzipBytes =
+          flate::compressedSize(bytes, flate::Level::Default, threads);
+      rep.cypressInterSeconds = cost.totalSeconds();
+    });
   }
+  parallelFor(branches.size(), threads, [&](size_t i) { branches[i](); });
   return rep;
 }
 

@@ -30,6 +30,18 @@ namespace cypress::driver {
 struct Options {
   int procs = 8;
   int scale = 1;
+  /// Parallelism of the post-run pipeline stages (per-rank trace
+  /// serialization/compression, the inter-process merge reduction, and
+  /// flate sharding). All parallel stages are fixed-order fan-outs on
+  /// the shared pool (support/thread_pool.hpp), so every produced trace
+  /// is byte-identical for any value of `threads`.
+  int threads = 1;
+  /// Also produce per-rank compressed CYPP trace files (the paper's
+  /// deployment model: each process writes flate(ctt) at MPI_Finalize).
+  /// Built as independent pool tasks, collected in rank order, in
+  /// RunOutput::rankTraceFiles. Ranks that did not finalize get an
+  /// empty entry.
+  bool emitRankTraces = false;
   bool withRaw = true;
   bool withScala = true;
   bool withScala2 = true;
@@ -76,6 +88,11 @@ struct RunOutput {
   std::unique_ptr<trace::JournalBuilder> journal;
   std::vector<std::unique_ptr<trace::JournalRecorder>> journalRecorders;
 
+  /// Per-rank compressed CYPP trace files (only when
+  /// Options::emitRankTraces); index is the rank, entries for
+  /// unfinalized (killed/stalled) ranks are empty.
+  std::vector<std::vector<uint8_t>> rankTraceFiles;
+
   /// Ranks whose traces are incomplete: killed by the fault plan or
   /// still blocked when a stalled run was salvaged.
   RankSet lostRanks() const;
@@ -119,15 +136,20 @@ struct SizeReport {
   double cypressInterSeconds = 0.0;
 };
 
-SizeReport computeSizes(const RunOutput& run);
+/// `threads` parallelizes the independent per-tool branches (raw+gzip,
+/// ScalaTrace, ScalaTrace-2, CYPRESS) and, inside the CYPRESS branch,
+/// the merge reduction and flate sharding. Sizes are identical for any
+/// thread count.
+SizeReport computeSizes(const RunOutput& run, int threads = 1);
 
 /// Merge the CYPRESS CTTs of a run (exposed for decompression/replay).
 /// Ranks that did not finalize (killed or stalled) are skipped and
 /// recorded in the result's lostRanks() annotation, so a faulted run
 /// still yields a valid compressed trace for the survivors.
-core::MergedCtt mergeCypress(const RunOutput& run, CostMeter* cost = nullptr);
+core::MergedCtt mergeCypress(const RunOutput& run, CostMeter* cost = nullptr,
+                             int threads = 1);
 
 /// Roundtrip-verify every trace a run produced (see verify/roundtrip.hpp).
-verify::Report verifyRun(const RunOutput& run);
+verify::Report verifyRun(const RunOutput& run, int threads = 1);
 
 }  // namespace cypress::driver

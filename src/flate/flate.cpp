@@ -9,6 +9,7 @@
 #include "flate/lz77.hpp"
 #include "support/bytebuf.hpp"
 #include "support/error.hpp"
+#include "support/thread_pool.hpp"
 
 namespace cypress::flate {
 
@@ -18,6 +19,10 @@ constexpr char kMagic[4] = {'C', 'Y', 'F', '1'};
 constexpr int kNumLitLen = 286;  // 0..255 literals, 256 EOB, 257..285 lengths
 constexpr int kNumDist = 30;
 constexpr int kEob = 256;
+
+constexpr uint8_t kBlockStored = 0;
+constexpr uint8_t kBlockHuffman = 1;
+constexpr uint8_t kBlockFramed = 2;
 
 // DEFLATE length codes: symbol 257+i encodes lengths [base[i],
 // base[i]+2^extra[i]-1].
@@ -80,24 +85,12 @@ std::vector<uint8_t> readLengths(ByteReader& r, size_t n) {
   return lengths;
 }
 
-}  // namespace
-
-uint32_t crc32(std::span<const uint8_t> data) {
-  const auto& t = crcTable();
-  uint32_t c = 0xFFFFFFFFu;
-  for (uint8_t b : data) c = t[(c ^ b) & 0xFF] ^ (c >> 8);
-  return c ^ 0xFFFFFFFFu;
-}
-
-std::vector<uint8_t> compress(std::span<const uint8_t> data, Level level) {
-  ByteWriter w;
-  w.raw(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(kMagic), 4));
-  w.uv(data.size());
-  w.u32fixed(crc32(data));
-
-  if (data.empty()) return w.take();
-
-  const auto tokens = tokenize(data, static_cast<int>(level));
+/// Compress one window-independent block: `u8 kind | payload`, stored
+/// when Huffman coding does not win. This is exactly the legacy
+/// single-block body, reused per shard by the framed container.
+std::vector<uint8_t> compressBlock(std::span<const uint8_t> data,
+                                   const MatchParams& mp) {
+  const auto tokens = tokenize(data, mp);
 
   // Symbol frequencies.
   std::vector<uint64_t> litFreq(kNumLitLen, 0), distFreq(kNumDist, 0);
@@ -116,8 +109,8 @@ std::vector<uint8_t> compress(std::span<const uint8_t> data, Level level) {
   const auto litCodes = canonicalCodes(litLens);
   const auto distCodes = canonicalCodes(distLens);
 
-  // Emit the Huffman block.
   ByteWriter block;
+  block.u8(kBlockHuffman);
   writeLengths(block, litLens);
   writeLengths(block, distLens);
   BitWriter bw;
@@ -140,13 +133,114 @@ std::vector<uint8_t> compress(std::span<const uint8_t> data, Level level) {
   block.uv(bits.size());
   block.raw(bits);
 
-  if (block.size() + 1 >= data.size() + 1) {
+  if (block.size() >= data.size() + 1) {
     // Incompressible: stored block.
-    w.u8(0);
-    w.raw(data);
-  } else {
-    w.u8(1);
-    w.raw(block.bytes());
+    ByteWriter stored;
+    stored.u8(kBlockStored);
+    stored.raw(data);
+    return stored.take();
+  }
+  return block.take();
+}
+
+/// Decode one block (kind already consumed) appending exactly `expect`
+/// bytes to `out`. Back-references never reach past the block's own
+/// start: every block resets the LZ77 window.
+void decompressBlockInto(uint8_t kind, ByteReader& r, std::vector<uint8_t>& out,
+                         uint64_t expect) {
+  const size_t base = out.size();
+  if (kind == kBlockStored) {
+    // Stored block: the payload IS the original, so a size prefix that
+    // disagrees with the bytes actually present is corrupt — and must
+    // not become an allocation.
+    CYP_CHECK(expect == r.remaining(),
+              "flate: stored block has " << r.remaining()
+                                         << " bytes but header claims "
+                                         << expect);
+    auto raw = r.raw(expect);
+    out.insert(out.end(), raw.begin(), raw.end());
+    return;
+  }
+  CYP_CHECK(kind == kBlockHuffman, "flate: unknown block kind " << int(kind));
+  // The size prefix is untrusted until the stream proves it: cap the
+  // speculative reserve and let push_back grow past it if the data
+  // really is that large. Every emit below is bounded by `expect`, so
+  // corrupt streams cannot balloon the output.
+  out.reserve(base + std::min<uint64_t>(expect, 1u << 20));
+  const auto litLens = readLengths(r, kNumLitLen);
+  const auto distLens = readLengths(r, kNumDist);
+  HuffmanDecoder litDec(litLens), distDec(distLens);
+  const uint64_t nbits = r.uv();
+  BitReader br(r.raw(nbits));
+  while (true) {
+    const int sym = litDec.decode(br);
+    if (sym == kEob) break;
+    if (sym < 256) {
+      CYP_CHECK(out.size() - base < expect,
+                "flate: output exceeds declared size " << expect);
+      out.push_back(static_cast<uint8_t>(sym));
+      continue;
+    }
+    const int ls = sym - 257;
+    CYP_CHECK(ls >= 0 && ls < 29, "flate: bad length symbol " << sym);
+    uint32_t len = kLenBase[ls];
+    if (kLenExtra[ls]) len += br.get(kLenExtra[ls]);
+    const int ds = distDec.decode(br);
+    CYP_CHECK(ds >= 0 && ds < 30, "flate: bad distance symbol " << ds);
+    uint32_t dist = kDistBase[ds];
+    if (kDistExtra[ds]) dist += br.get(kDistExtra[ds]);
+    CYP_CHECK(dist <= out.size() - base, "flate: back-reference before start");
+    CYP_CHECK(len <= expect - (out.size() - base),
+              "flate: output exceeds declared size " << expect);
+    size_t from = out.size() - dist;
+    for (uint32_t i = 0; i < len; ++i) out.push_back(out[from + i]);
+  }
+  CYP_CHECK(out.size() - base == expect,
+            "flate: block decoded to " << out.size() - base
+                                       << " bytes, expected " << expect);
+}
+
+}  // namespace
+
+uint32_t crc32(std::span<const uint8_t> data) {
+  const auto& t = crcTable();
+  uint32_t c = 0xFFFFFFFFu;
+  for (uint8_t b : data) c = t[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::vector<uint8_t> compress(std::span<const uint8_t> data, Level level,
+                              int threads) {
+  ByteWriter w;
+  w.raw(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(kMagic), 4));
+  w.uv(data.size());
+  w.u32fixed(crc32(data));
+
+  if (data.empty()) return w.take();
+
+  const MatchParams mp = MatchParams::forChain(static_cast<int>(level));
+  if (data.size() <= kShardBytes) {
+    // Legacy single-block container, byte-for-byte the historical format.
+    w.raw(compressBlock(data, mp));
+    return w.take();
+  }
+
+  // Framed multi-block container: fixed-size shards, each compressed
+  // with a fresh LZ77 window, so the shards are independent tasks and
+  // the output is a pure function of the input — `threads` only decides
+  // how many compress concurrently.
+  const size_t nShards = (data.size() + kShardBytes - 1) / kShardBytes;
+  std::vector<std::vector<uint8_t>> blocks(nShards);
+  parallelFor(nShards, threads, [&](size_t i) {
+    const size_t lo = i * kShardBytes;
+    const size_t hi = std::min(lo + kShardBytes, data.size());
+    blocks[i] = compressBlock(data.subspan(lo, hi - lo), mp);
+  });
+  w.u8(kBlockFramed);
+  w.uv(nShards);
+  for (const auto& b : blocks) {
+    w.uv(b.size());
+    w.raw(b);
   }
   return w.take();
 }
@@ -161,51 +255,21 @@ std::vector<uint8_t> decompress(std::span<const uint8_t> data) {
   std::vector<uint8_t> out;
   if (originalSize > 0) {
     const uint8_t kind = r.u8();
-    if (kind == 0) {
-      // Stored block: the payload IS the original, so a size prefix that
-      // disagrees with the bytes actually present is corrupt — and must
-      // not become an allocation.
-      CYP_CHECK(originalSize == r.remaining(),
-                "flate: stored block has " << r.remaining()
-                                           << " bytes but header claims "
-                                           << originalSize);
-      auto raw = r.raw(originalSize);
-      out.assign(raw.begin(), raw.end());
-    } else {
-      CYP_CHECK(kind == 1, "flate: unknown block kind " << int(kind));
-      // The size prefix is untrusted until the stream proves it: cap the
-      // speculative reserve and let push_back grow past it if the data
-      // really is that large. Every emit below is bounded by
-      // originalSize, so corrupt streams cannot balloon the output.
-      out.reserve(std::min<uint64_t>(originalSize, 1u << 20));
-      const auto litLens = readLengths(r, kNumLitLen);
-      const auto distLens = readLengths(r, kNumDist);
-      HuffmanDecoder litDec(litLens), distDec(distLens);
-      const uint64_t nbits = r.uv();
-      BitReader br(r.raw(nbits));
-      while (true) {
-        const int sym = litDec.decode(br);
-        if (sym == kEob) break;
-        if (sym < 256) {
-          CYP_CHECK(out.size() < originalSize,
-                    "flate: output exceeds declared size " << originalSize);
-          out.push_back(static_cast<uint8_t>(sym));
-          continue;
-        }
-        const int ls = sym - 257;
-        CYP_CHECK(ls >= 0 && ls < 29, "flate: bad length symbol " << sym);
-        uint32_t len = kLenBase[ls];
-        if (kLenExtra[ls]) len += br.get(kLenExtra[ls]);
-        const int ds = distDec.decode(br);
-        CYP_CHECK(ds >= 0 && ds < 30, "flate: bad distance symbol " << ds);
-        uint32_t dist = kDistBase[ds];
-        if (kDistExtra[ds]) dist += br.get(kDistExtra[ds]);
-        CYP_CHECK(dist <= out.size(), "flate: back-reference before start");
-        CYP_CHECK(len <= originalSize - out.size(),
-                  "flate: output exceeds declared size " << originalSize);
-        size_t from = out.size() - dist;
-        for (uint32_t i = 0; i < len; ++i) out.push_back(out[from + i]);
+    if (kind == kBlockFramed) {
+      const uint64_t nShards = r.checkedCount(r.uv(), 1);
+      CYP_CHECK(nShards == (originalSize + kShardBytes - 1) / kShardBytes,
+                "flate: framed container has " << nShards
+                                               << " shards for declared size "
+                                               << originalSize);
+      for (uint64_t i = 0; i < nShards; ++i) {
+        const uint64_t expect =
+            std::min<uint64_t>(kShardBytes, originalSize - i * kShardBytes);
+        ByteReader shard(r.raw(r.checkedCount(r.uv(), 1)));
+        decompressBlockInto(shard.u8(), shard, out, expect);
+        CYP_CHECK(shard.atEnd(), "flate: trailing bytes in shard " << i);
       }
+    } else {
+      decompressBlockInto(kind, r, out, originalSize);
     }
   }
   CYP_CHECK(out.size() == originalSize,
@@ -214,14 +278,15 @@ std::vector<uint8_t> decompress(std::span<const uint8_t> data) {
   return out;
 }
 
-size_t compressedSize(std::span<const uint8_t> data, Level level) {
-  return compress(data, level).size();
+size_t compressedSize(std::span<const uint8_t> data, Level level, int threads) {
+  return compress(data, level, threads).size();
 }
 
-std::vector<uint8_t> compressString(const std::string& s, Level level) {
+std::vector<uint8_t> compressString(const std::string& s, Level level,
+                                    int threads) {
   return compress(std::span<const uint8_t>(
                       reinterpret_cast<const uint8_t*>(s.data()), s.size()),
-                  level);
+                  level, threads);
 }
 
 std::string decompressToString(std::span<const uint8_t> data) {

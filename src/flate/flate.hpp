@@ -6,10 +6,18 @@
 //
 //   magic "CYF1" | uvarint originalSize | crc32 | blocks...
 //
-// Each block: u8 kind (0 stored / 1 huffman), then the payload. Huffman
-// blocks carry two canonical code-length tables (literal/length and
-// distance alphabets, DEFLATE's tables) followed by the LSB-first bit
-// stream of LZ77 tokens terminated by an end-of-block symbol.
+// Inputs up to kShardBytes use the original single-block layout: u8 kind
+// (0 stored / 1 huffman), then the payload. Huffman blocks carry two
+// canonical code-length tables (literal/length and distance alphabets,
+// DEFLATE's tables) followed by the LSB-first bit stream of LZ77 tokens
+// terminated by an end-of-block symbol.
+//
+// Larger inputs use a framed multi-block container (kind 2): the input
+// is cut into fixed kShardBytes shards, each compressed independently
+// with a fresh LZ77 window and stored length-prefixed. Shards are
+// independent tasks, so compression parallelizes across them — and
+// because the shard boundaries depend only on the input size, the
+// output is byte-identical for every thread count.
 #pragma once
 
 #include <cstdint>
@@ -22,20 +30,29 @@ namespace cypress::flate {
 /// Compression effort: bounds the LZ77 hash-chain walk.
 enum class Level { Fast = 16, Default = 128, Best = 1024 };
 
+/// Shard size of the framed multi-block container; inputs at or below
+/// this size keep the legacy single-block layout.
+constexpr size_t kShardBytes = 256 * 1024;
+
 /// Compress `data`; never fails (incompressible data falls back to a
-/// stored block with a few bytes of framing overhead).
+/// stored block with a few bytes of framing overhead). `threads` caps
+/// how many shards compress concurrently (on the shared pipeline pool)
+/// and never changes the output bytes.
 std::vector<uint8_t> compress(std::span<const uint8_t> data,
-                              Level level = Level::Default);
+                              Level level = Level::Default, int threads = 1);
 
 /// Decompress a buffer produced by compress(); throws cypress::Error on
 /// corrupt input (bad magic, bad codes, CRC mismatch).
 std::vector<uint8_t> decompress(std::span<const uint8_t> data);
 
 /// Convenience: size in bytes after compression.
-size_t compressedSize(std::span<const uint8_t> data, Level level = Level::Default);
+size_t compressedSize(std::span<const uint8_t> data,
+                      Level level = Level::Default, int threads = 1);
 
 /// String overloads (used by text-file artifacts such as serialized CSTs).
-std::vector<uint8_t> compressString(const std::string& s, Level level = Level::Default);
+std::vector<uint8_t> compressString(const std::string& s,
+                                    Level level = Level::Default,
+                                    int threads = 1);
 std::string decompressToString(std::span<const uint8_t> data);
 
 /// CRC-32 (IEEE 802.3 polynomial), used for container integrity.

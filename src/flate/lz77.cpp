@@ -1,31 +1,64 @@
 #include "flate/lz77.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "support/error.hpp"
 
 namespace cypress::flate {
 
+MatchParams MatchParams::forChain(int maxChain) {
+  MatchParams p;
+  p.maxChain = maxChain;
+  if (maxChain <= 16) {
+    // Fast tier: greedy matching, bail out early.
+    p.goodLength = 8;
+    p.niceLength = 32;
+    p.lazy = false;
+  } else if (maxChain <= 128) {
+    p.goodLength = 16;
+    p.niceLength = 128;
+    p.lazy = true;
+  } else {
+    p.goodLength = 32;
+    p.niceLength = kMaxMatch;
+    p.lazy = true;
+  }
+  return p;
+}
+
 namespace {
 
-constexpr uint32_t kHashBits = 15;
-constexpr uint32_t kHashSize = 1u << kHashBits;
-
-inline uint32_t hash3(const uint8_t* p) {
-  // Multiplicative hash over 3 bytes.
-  uint32_t v = static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
-               (static_cast<uint32_t>(p[2]) << 16);
-  return (v * 2654435761u) >> (32 - kHashBits);
-}
+constexpr uint32_t kMaxHashBits = 15;
 
 struct Matcher {
   std::span<const uint8_t> data;
-  std::vector<int32_t> head;  // hash -> most recent position
-  std::vector<int32_t> prev;  // position -> previous position in chain
-  int maxChain;
+  std::vector<int32_t> head;        // hash -> most recent position
+  std::unique_ptr<int32_t[]> prev;  // position -> previous position in chain
+  uint32_t hashShift;
+  MatchParams params;
 
-  Matcher(std::span<const uint8_t> d, int chain)
-      : data(d), head(kHashSize, -1), prev(d.size(), -1), maxChain(chain) {}
+  Matcher(std::span<const uint8_t> d, const MatchParams& p) : data(d), params(p) {
+    // Size the hash table to the input: per-rank CTT payloads are a few
+    // KiB, and a fixed 32K-entry table would cost more to clear than
+    // the whole tokenization. `prev` is only ever read at positions that
+    // insert() already wrote (chains start at `head`), so it needs no
+    // zero-fill at all — allocate it uninitialized, and not before the
+    // input is even long enough to hold a match.
+    uint32_t bits = 8;
+    while (bits < kMaxHashBits && (size_t{1} << bits) < d.size()) ++bits;
+    head.assign(size_t{1} << bits, -1);
+    hashShift = 32 - bits;
+    if (d.size() >= kMinMatch) prev.reset(new int32_t[d.size()]);
+  }
+
+  uint32_t hash3(const uint8_t* p) const {
+    // Multiplicative hash over 3 bytes.
+    uint32_t v = static_cast<uint32_t>(p[0]) |
+                 (static_cast<uint32_t>(p[1]) << 8) |
+                 (static_cast<uint32_t>(p[2]) << 16);
+    return (v * 2654435761u) >> hashShift;
+  }
 
   void insert(size_t pos) {
     if (pos + kMinMatch > data.size()) return;
@@ -34,24 +67,37 @@ struct Matcher {
     head[h] = static_cast<int32_t>(pos);
   }
 
-  /// Longest match at `pos` against earlier positions within the window.
-  /// Returns (length, distance); length 0 means no match.
-  std::pair<int, int> find(size_t pos) const {
+  /// Longest match at `pos` strictly longer than `prevLen` (pass 0 for
+  /// a plain search). Returns (length, distance); length 0 means no
+  /// match beat `prevLen`.
+  std::pair<int, int> find(size_t pos, int prevLen) const {
     if (pos + kMinMatch > data.size()) return {0, 0};
-    const size_t limit = std::min(data.size() - pos, static_cast<size_t>(kMaxMatch));
+    const size_t limit =
+        std::min(data.size() - pos, static_cast<size_t>(kMaxMatch));
+    // `best` is the length a candidate must strictly exceed.
+    int best = std::max(prevLen, kMinMatch - 1);
+    if (best >= static_cast<int>(limit)) return {0, 0};
+    const int nice = std::min(params.niceLength, static_cast<int>(limit));
+    int chain = params.maxChain;
+    if (prevLen >= params.goodLength) chain >>= 2;
     int bestLen = 0, bestDist = 0;
-    int32_t cand = head[hash3(data.data() + pos)];
-    int chain = maxChain;
+    const uint8_t* cur = data.data() + pos;
+    int32_t cand = head[hash3(cur)];
     while (cand >= 0 && chain-- > 0) {
       const size_t c = static_cast<size_t>(cand);
       if (pos - c > kWindowSize) break;
-      if (c != pos) {
+      const uint8_t* cp = data.data() + c;
+      // A candidate that cannot beat `best` differs at offset `best`;
+      // checking that one byte first skips the full compare on almost
+      // every chain step.
+      if (cp[best] == cur[best]) {
         size_t l = 0;
-        while (l < limit && data[c + l] == data[pos + l]) ++l;
-        if (static_cast<int>(l) > bestLen) {
+        while (l < limit && cp[l] == cur[l]) ++l;
+        if (static_cast<int>(l) > best) {
+          best = static_cast<int>(l);
           bestLen = static_cast<int>(l);
           bestDist = static_cast<int>(pos - c);
-          if (l == limit) break;
+          if (bestLen >= nice) break;
         }
       }
       cand = prev[c];
@@ -64,12 +110,18 @@ struct Matcher {
 }  // namespace
 
 std::vector<Token> tokenize(std::span<const uint8_t> data, int maxChain) {
+  return tokenize(data, MatchParams::forChain(maxChain));
+}
+
+std::vector<Token> tokenize(std::span<const uint8_t> data,
+                            const MatchParams& params) {
   std::vector<Token> out;
   out.reserve(data.size() / 4 + 16);
-  Matcher m(data, maxChain);
+  Matcher m(data, params);
 
   size_t pos = 0;
   size_t inserted = 0;  // positions [0, inserted) are in the dictionary
+  size_t missRun = 0;   // consecutive match-less positions (skip-ahead)
   auto insertUpTo = [&](size_t end) {
     for (; inserted < end; ++inserted) m.insert(inserted);
   };
@@ -80,11 +132,28 @@ std::vector<Token> tokenize(std::span<const uint8_t> data, int maxChain) {
     // own hash chain, and find() would burn its first chain step skipping
     // the self-hit before reaching a real candidate.
     insertUpTo(pos);
-    auto [len, dist] = m.find(pos);
-    if (len >= kMinMatch && pos + 1 < data.size()) {
+    auto [len, dist] = m.find(pos, 0);
+    if (len < kMinMatch) {
+      // Incompressible stretch: emit literals in growing strides and
+      // probe/insert only at the stride heads, so random data costs far
+      // less than one chain walk per byte. The stride is a pure function
+      // of the miss run, so the token stream stays deterministic.
+      const size_t step =
+          std::min(std::min<size_t>(1 + (missRun >> 5), 16),
+                   data.size() - pos);
+      for (size_t k = 0; k < step; ++k)
+        out.push_back(Token{0, 0, data[pos + k]});
+      m.insert(pos);
+      pos += step;
+      inserted = std::max(inserted, pos);
+      missRun += step;
+      continue;
+    }
+    missRun = 0;
+    if (params.lazy && pos + 1 < data.size()) {
       // One-step lazy matching: prefer a strictly longer match at pos+1.
       insertUpTo(pos + 1);
-      auto [len2, dist2] = m.find(pos + 1);
+      auto [len2, dist2] = m.find(pos + 1, len);
       if (len2 > len) {
         out.push_back(Token{0, 0, data[pos]});
         pos += 1;
@@ -92,15 +161,11 @@ std::vector<Token> tokenize(std::span<const uint8_t> data, int maxChain) {
         dist = dist2;
       }
     }
-    if (len >= kMinMatch) {
-      out.push_back(Token{static_cast<uint16_t>(len), static_cast<uint16_t>(dist), 0});
-      const size_t end = pos + static_cast<size_t>(len);
-      insertUpTo(end);
-      pos = end;
-    } else {
-      out.push_back(Token{0, 0, data[pos]});
-      pos += 1;
-    }
+    out.push_back(
+        Token{static_cast<uint16_t>(len), static_cast<uint16_t>(dist), 0});
+    const size_t end = pos + static_cast<size_t>(len);
+    insertUpTo(end);
+    pos = end;
   }
   return out;
 }

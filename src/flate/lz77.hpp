@@ -18,9 +18,31 @@ constexpr int kMinMatch = 3;
 constexpr int kMaxMatch = 258;
 constexpr int kWindowSize = 1 << 15;
 
+/// Matcher effort knobs (zlib's configuration_table, per level).
+struct MatchParams {
+  /// Hash-chain candidates examined per position.
+  int maxChain = 128;
+  /// Once the best match so far reaches this length, cut the remaining
+  /// chain budget to a quarter — long matches rarely improve much and
+  /// the walk is the hot loop.
+  int goodLength = 16;
+  /// Stop searching outright at this length ("nice enough").
+  int niceLength = 128;
+  /// One-step lazy matching: defer a match one position if the next
+  /// position matches strictly longer (improves ratio and skips the
+  /// deferred position's wasted chain walk).
+  bool lazy = true;
+
+  /// The historical tokenize(data, maxChain) knob mapped onto the full
+  /// parameter set, mirroring zlib's fast/default/best tiers.
+  static MatchParams forChain(int maxChain);
+};
+
 /// Tokenize `data`. `maxChain` bounds the hash-chain walk per position
 /// (effort/ratio trade-off, like zlib levels).
 std::vector<Token> tokenize(std::span<const uint8_t> data, int maxChain = 128);
+std::vector<Token> tokenize(std::span<const uint8_t> data,
+                            const MatchParams& params);
 
 /// Reconstruct the original bytes from a token stream (testing aid; the
 /// decoder in flate.cpp reconstructs directly from the bit stream).

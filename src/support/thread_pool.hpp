@@ -1,0 +1,85 @@
+// Shared fixed-order thread pool for the compression pipeline.
+//
+// One global FIFO queue, no per-worker deques and no work stealing:
+// tasks start in exactly the order they were enqueued, so a fan-out
+// whose tasks are independent and whose results are collected by index
+// produces output that is a pure function of its inputs — never of the
+// scheduler. Every parallel stage in the pipeline (per-rank trace
+// serialization, flate shard compression, the inter-process merge
+// reduction) goes through parallelFor() below, which is what makes
+// `threads=N` byte-identical to `threads=1` by construction.
+//
+// A thread blocked in parallelFor() does not idle: it executes queued
+// tasks itself while waiting ("helping"), so nested fan-outs — a
+// pipeline task that internally shards a flate compression — cannot
+// deadlock even on a single-worker pool.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace cypress {
+
+class ThreadPool {
+ public:
+  /// Spawns exactly `workers` (>= 1) threads.
+  explicit ThreadPool(unsigned workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  unsigned workerCount() const { return static_cast<unsigned>(workers_.size()); }
+
+  /// Append a task to the FIFO queue.
+  void enqueue(std::function<void()> task);
+
+  /// Pop and run one queued task on the calling thread, if any. This is
+  /// how blocked submitters help drain the queue instead of idling.
+  bool tryRunOne();
+
+  /// Enqueue a callable and get its result (or exception) as a future.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    enqueue([task] { (*task)(); });
+    return fut;
+  }
+
+  /// Process-wide pool sized to the hardware, constructed on first use
+  /// and reused by every pipeline stage.
+  static ThreadPool& shared();
+
+ private:
+  void workerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Run fn(i) for every i in [0, n) with at most `threads` lanes of
+/// concurrency drawn from `pool` (the shared pool by default).
+///
+/// Indices are dealt to lanes in fixed contiguous chunks, so the work
+/// partition depends only on (n, threads) — never on timing. The
+/// calling thread executes lane 0 itself and helps drain the pool while
+/// waiting for the others. If any index throws, the exception from the
+/// lowest-numbered failing lane is rethrown in the calling thread after
+/// all lanes have finished. `threads <= 1` (or n <= 1) runs inline with
+/// no queueing at all.
+void parallelFor(size_t n, int threads, const std::function<void(size_t)>& fn,
+                 ThreadPool* pool = nullptr);
+
+}  // namespace cypress

@@ -157,6 +157,132 @@ TEST(Flate, PropertyRoundTripAcrossLevelsAndShapes) {
   (void)rng;
 }
 
+// --- parallel / multi-block container ---------------------------------
+
+namespace {
+
+/// The determinism corpora of the multi-block tests: empty, one byte,
+/// incompressible random, highly repetitive, and structured text —
+/// small (single-block) and large (framed multi-block) variants.
+std::vector<std::vector<uint8_t>> determinismCorpora() {
+  std::vector<std::vector<uint8_t>> corpora;
+  corpora.push_back({});
+  corpora.push_back({0x42});
+  Rng rng(2024);
+  std::vector<uint8_t> random(3 * kShardBytes + 12345);
+  for (auto& b : random) b = static_cast<uint8_t>(rng.below(256));
+  corpora.push_back(std::move(random));
+  corpora.push_back(std::vector<uint8_t>(2 * kShardBytes + 7, 'a'));
+  std::string text;
+  while (text.size() < 2 * kShardBytes)
+    text += "MPI_Send dst=12 bytes=4096 tag=7 comm=0\n";
+  corpora.push_back(bytesOf(text));
+  corpora.push_back(bytesOf("short single-block payload"));
+  return corpora;
+}
+
+}  // namespace
+
+TEST(FlateParallel, ByteIdenticalAcrossThreadCounts) {
+  for (const auto& data : determinismCorpora()) {
+    for (Level lvl : {Level::Fast, Level::Default, Level::Best}) {
+      const auto reference = compress(data, lvl, 1);
+      EXPECT_EQ(decompress(reference), data);
+      for (int threads : {2, 4, 8}) {
+        EXPECT_EQ(compress(data, lvl, threads), reference)
+            << "size " << data.size() << " threads " << threads;
+      }
+    }
+  }
+}
+
+TEST(FlateParallel, MultiBlockRoundTripsAtShardBoundaries) {
+  // Exactly the shard size stays single-block; one byte more frames.
+  for (size_t size : {kShardBytes - 1, kShardBytes, kShardBytes + 1,
+                      2 * kShardBytes, 2 * kShardBytes + 1}) {
+    Rng rng(size);
+    std::vector<uint8_t> data(size);
+    for (size_t i = 0; i < size; ++i)
+      data[i] = static_cast<uint8_t>(rng.below(7) == 0 ? rng.below(256)
+                                                       : i % 31);
+    const auto c = compress(data, Level::Default, 4);
+    EXPECT_EQ(decompress(c), data) << size;
+  }
+}
+
+TEST(FlateParallel, CorruptFramedContainerThrowsOrFailsClean) {
+  std::vector<uint8_t> data(2 * kShardBytes + 99);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i % 251);
+  const auto c = compress(data, Level::Default, 4);
+  Rng rng(77);
+  for (int iter = 0; iter < 200; ++iter) {
+    auto bad = c;
+    bad[rng.below(bad.size())] ^= static_cast<uint8_t>(1 + rng.below(255));
+    try {
+      const auto out = decompress(bad);
+      // Extremely unlikely, but a mutation the CRC cannot see would
+      // have to reproduce the input exactly.
+      EXPECT_EQ(out, data);
+    } catch (const Error&) {
+      // Expected: corrupt containers must fail, not crash.
+    }
+  }
+}
+
+TEST(Lz77, LazyAndGreedyBothRoundTrip) {
+  Rng rng(31337);
+  for (uint64_t seed = 0; seed < 16; ++seed) {
+    Rng gen(seed);
+    std::vector<uint8_t> data(gen.below(30000));
+    const int mode = static_cast<int>(seed % 4);
+    for (size_t i = 0; i < data.size(); ++i) {
+      if (mode == 0) data[i] = static_cast<uint8_t>(gen.below(256));
+      else if (mode == 1) data[i] = static_cast<uint8_t>(i % 13);
+      else if (mode == 2) data[i] = static_cast<uint8_t>(gen.below(3));
+      else data[i] = static_cast<uint8_t>((i / 100) % 7);
+    }
+    for (bool lazy : {false, true}) {
+      MatchParams p;
+      p.lazy = lazy;
+      EXPECT_EQ(detokenize(tokenize(data, p)), data)
+          << "seed " << seed << " lazy " << lazy;
+    }
+  }
+  (void)rng;
+}
+
+TEST(Lz77, LazyMatchingDoesNotHurtTokenEfficiency) {
+  // The classic zlib heuristic: deferring one position for a strictly
+  // longer match should never produce a materially worse token stream.
+  std::string s;
+  for (int i = 0; i < 800; ++i)
+    s += "prefix " + std::to_string(i % 23) + " suffix-suffix;";
+  auto data = bytesOf(s);
+  MatchParams greedy;
+  greedy.lazy = false;
+  MatchParams lazy;
+  lazy.lazy = true;
+  const auto tg = tokenize(data, greedy);
+  const auto tl = tokenize(data, lazy);
+  EXPECT_EQ(detokenize(tg), data);
+  EXPECT_EQ(detokenize(tl), data);
+  EXPECT_LE(tl.size(), tg.size() + tg.size() / 20);
+}
+
+TEST(Lz77, SkipAheadStillRoundTripsRandomThenRepetitive) {
+  // An incompressible prefix long enough to push the skip-ahead stride
+  // to its cap, followed by compressible data: matches must still be
+  // found after the stretch and the stream must reconstruct exactly.
+  Rng rng(9);
+  std::vector<uint8_t> data(200000);
+  for (size_t i = 0; i < 150000; ++i) data[i] = static_cast<uint8_t>(rng.below(256));
+  for (size_t i = 150000; i < data.size(); ++i) data[i] = static_cast<uint8_t>(i % 5);
+  auto tokens = tokenize(data);
+  EXPECT_EQ(detokenize(tokens), data);
+  // The repetitive tail must actually compress (matches found again).
+  EXPECT_LT(tokens.size(), 150000 + 5000u);
+}
+
 TEST(Flate, CorruptMagicThrows) {
   auto c = compress(bytesOf("payload"));
   c[0] ^= 0xFF;

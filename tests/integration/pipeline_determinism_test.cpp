@@ -1,0 +1,78 @@
+// The thread-count determinism contract of the whole pipeline: every
+// artifact the driver produces — merged CYPC trees, per-rank CYPP trace
+// files, flate containers, size reports — must be byte-identical no
+// matter how many threads the post-run stages fan out on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "driver/pipeline.hpp"
+#include "flate/flate.hpp"
+
+namespace cypress {
+namespace {
+
+driver::RunOutput runCg(int threads) {
+  driver::Options opts;
+  opts.procs = 32;
+  opts.threads = threads;
+  opts.emitRankTraces = true;
+  opts.withScala = false;  // keep the fixture fast; scala is untouched here
+  return driver::runWorkload("CG", opts);
+}
+
+TEST(PipelineDeterminism, FullRunByteIdenticalAcrossThreadCounts) {
+  const driver::RunOutput ref = runCg(1);
+  const core::MergedCtt refMerged = driver::mergeCypress(ref, nullptr, 1);
+  const auto refBytes = refMerged.serialize();
+  ASSERT_FALSE(refBytes.empty());
+  ASSERT_EQ(ref.rankTraceFiles.size(), 32u);
+  for (const auto& f : ref.rankTraceFiles) EXPECT_FALSE(f.empty());
+
+  const driver::RunOutput par = runCg(8);
+  const core::MergedCtt parMerged = driver::mergeCypress(par, nullptr, 8);
+  EXPECT_EQ(parMerged.serialize(), refBytes);
+  EXPECT_EQ(par.rankTraceFiles, ref.rankTraceFiles);
+}
+
+TEST(PipelineDeterminism, SizeReportIndependentOfThreadCount) {
+  const driver::RunOutput run = runCg(1);
+  const driver::SizeReport ref = driver::computeSizes(run, 1);
+  EXPECT_GT(ref.rawBytes, 0u);
+  EXPECT_GT(ref.cypressGzipBytes, 0u);
+  for (int threads : {2, 4, 8}) {
+    const driver::SizeReport got = driver::computeSizes(run, threads);
+    EXPECT_EQ(got.rawBytes, ref.rawBytes) << threads;
+    EXPECT_EQ(got.gzipBytes, ref.gzipBytes) << threads;
+    EXPECT_EQ(got.scala2Bytes, ref.scala2Bytes) << threads;
+    EXPECT_EQ(got.scala2GzipBytes, ref.scala2GzipBytes) << threads;
+    EXPECT_EQ(got.cypressBytes, ref.cypressBytes) << threads;
+    EXPECT_EQ(got.cypressGzipBytes, ref.cypressGzipBytes) << threads;
+  }
+}
+
+TEST(PipelineDeterminism, FlateOverRealPayloadsIdenticalAcrossThreads) {
+  // The raw CYTR stream of a real run is big enough to exercise the
+  // framed multi-block path; the merged CYPC payload usually is not —
+  // both must be stable, and decompress back exactly.
+  const driver::RunOutput run = runCg(1);
+  const auto rawBytes = run.raw.serialize();
+  const auto cypBytes = driver::mergeCypress(run).serialize();
+  for (const auto& payload : {rawBytes, cypBytes}) {
+    const auto ref = flate::compress(payload, flate::Level::Default, 1);
+    EXPECT_EQ(flate::decompress(ref), payload);
+    for (int threads : {2, 4, 8})
+      EXPECT_EQ(flate::compress(payload, flate::Level::Default, threads), ref)
+          << "payload " << payload.size() << " threads " << threads;
+  }
+}
+
+TEST(PipelineDeterminism, VerifyRunPassesThreaded) {
+  const driver::RunOutput run = runCg(8);
+  const verify::Report rep = driver::verifyRun(run, 8);
+  EXPECT_TRUE(rep.ok()) << rep.toString();
+}
+
+}  // namespace
+}  // namespace cypress

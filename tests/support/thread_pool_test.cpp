@@ -1,0 +1,133 @@
+#include "support/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace cypress {
+namespace {
+
+TEST(ThreadPool, SubmitReturnsResultsByFuture) {
+  ThreadPool pool(3);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 20; ++i)
+    futs.push_back(pool.submit([i] { return i * i; }));
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(futs[static_cast<size_t>(i)].get(), i * i);
+}
+
+TEST(ThreadPool, SubmitPropagatesExceptionThroughFuture) {
+  ThreadPool pool(2);
+  auto fut = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(fut.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, TasksStartInSubmissionOrder) {
+  // A single worker drains the FIFO queue strictly in order.
+  ThreadPool pool(1);
+  std::vector<int> order;
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 16; ++i)
+    futs.push_back(pool.submit([i, &order] { order.push_back(i); }));
+  for (auto& f : futs) f.get();
+  std::vector<int> expect(16);
+  std::iota(expect.begin(), expect.end(), 0);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (size_t n : {0u, 1u, 7u, 64u, 1000u}) {
+    std::vector<std::atomic<int>> hits(n);
+    parallelFor(n, 4, [&](size_t i) { hits[i]++; }, &pool);
+    for (size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForResultsIndependentOfThreadCount) {
+  ThreadPool pool(4);
+  const size_t n = 257;
+  std::vector<uint64_t> expect(n);
+  parallelFor(n, 1, [&](size_t i) { expect[i] = i * 2654435761u; }, &pool);
+  for (int threads : {2, 3, 8, 64}) {
+    std::vector<uint64_t> got(n);
+    parallelFor(n, threads, [&](size_t i) { got[i] = i * 2654435761u; }, &pool);
+    EXPECT_EQ(got, expect) << "threads=" << threads;
+  }
+}
+
+TEST(ThreadPool, ParallelForRethrowsLowestFailingLane) {
+  ThreadPool pool(4);
+  // 16 indices in 4 contiguous lanes of 4; every index >= 5 throws its
+  // own index, so lane 1 (indices 4..7) fails first at 5 — that is the
+  // exception the submitting thread must see, on every run.
+  for (int rep = 0; rep < 10; ++rep) {
+    try {
+      parallelFor(
+          16, 4,
+          [](size_t i) {
+            if (i >= 5) throw std::runtime_error(std::to_string(i));
+          },
+          &pool);
+      FAIL() << "expected an exception";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "5");
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForExceptionStillRunsOtherLanes) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallelFor(
+                   8, 4,
+                   [&](size_t i) {
+                     if (i == 0) throw std::runtime_error("first");
+                     ran++;
+                   },
+                   &pool),
+               std::runtime_error);
+  // Lane 0 aborts at index 0; the other three lanes (indices 2..7) run.
+  EXPECT_EQ(ran.load(), 6);
+}
+
+TEST(ThreadPool, ReusableAcrossStages) {
+  // The same pool serves successive, differently-shaped stages — the
+  // way the pipeline reuses the shared pool for serialize, flate and
+  // merge.
+  ThreadPool pool(3);
+  std::vector<int> a(100), b(37), c(8);
+  parallelFor(a.size(), 8, [&](size_t i) { a[i] = 1; }, &pool);
+  parallelFor(b.size(), 2, [&](size_t i) { b[i] = 2; }, &pool);
+  parallelFor(c.size(), 8, [&](size_t i) { c[i] = 3; }, &pool);
+  EXPECT_EQ(std::accumulate(a.begin(), a.end(), 0), 100);
+  EXPECT_EQ(std::accumulate(b.begin(), b.end(), 0), 74);
+  EXPECT_EQ(std::accumulate(c.begin(), c.end(), 0), 24);
+}
+
+TEST(ThreadPool, NestedParallelForDoesNotDeadlock) {
+  // Outer tasks fan out again on the same (tiny) pool; the helping wait
+  // loop must drain the nested tasks instead of deadlocking.
+  ThreadPool pool(1);
+  std::atomic<int> inner{0};
+  parallelFor(
+      4, 4,
+      [&](size_t) {
+        parallelFor(4, 4, [&](size_t) { inner++; }, &pool);
+      },
+      &pool);
+  EXPECT_EQ(inner.load(), 16);
+}
+
+TEST(ThreadPool, SharedPoolIsAvailable) {
+  std::atomic<int> hits{0};
+  parallelFor(32, 4, [&](size_t) { hits++; });
+  EXPECT_EQ(hits.load(), 32);
+  EXPECT_GE(ThreadPool::shared().workerCount(), 1u);
+}
+
+}  // namespace
+}  // namespace cypress

@@ -62,6 +62,7 @@ struct Args {
   std::string target2;
   int procs = 16;
   int scale = 1;
+  int threads = 1;
   int rank = 0;
   int limit = 20;
   bool otf = false;
@@ -77,14 +78,14 @@ struct Args {
 [[noreturn]] void usage() {
   std::fprintf(stderr,
                "usage:\n"
-               "  cyptrace run <workload|file.mc> --procs N [--scale S] [--out F.cyp]\n"
-               "               [--fault SPEC]... [--journal F.cyj] [--salvage]\n"
+               "  cyptrace run <workload|file.mc> --procs N [--scale S] [--threads T]\n"
+               "               [--out F.cyp] [--fault SPEC]... [--journal F.cyj] [--salvage]\n"
                "               (SPEC: kill:R@N | abort:R@N | drop:R@N | delay:R@N:NS)\n"
                "  cyptrace recover <F.cyj> [--out F.cytr]\n"
                "  cyptrace info <F.cyp>\n"
                "  cyptrace dump <F.cyp> [--rank R] [--limit N] [--otf]\n"
                "  cyptrace replay <F.cyp> [--net ib|eth]\n"
-               "  cyptrace compare <workload> --procs N [--scale S]\n"
+               "  cyptrace compare <workload> --procs N [--scale S] [--threads T]\n"
                "  cyptrace stats <F.cyp>\n"
                "  cyptrace diff <A.cyp> <B.cyp>\n"
                "  cyptrace verify <workload|file.mc|trace file> [--procs N] "
@@ -114,6 +115,7 @@ Args parse(int argc, char** argv) {
     };
     if (flag == "--procs") a.procs = std::stoi(value());
     else if (flag == "--scale") a.scale = std::stoi(value());
+    else if (flag == "--threads") a.threads = std::stoi(value());
     else if (flag == "--rank") a.rank = std::stoi(value());
     else if (flag == "--limit") a.limit = std::stoi(value());
     else if (flag == "--out") a.out = value();
@@ -153,6 +155,7 @@ driver::RunOutput runTarget(const Args& a, bool allTools) {
   driver::Options opts;
   opts.procs = a.procs;
   opts.scale = a.scale;
+  opts.threads = a.threads;
   opts.withScala = allTools;
   opts.withScala2 = allTools;
   for (const std::string& spec : a.faultSpecs)
@@ -168,7 +171,7 @@ driver::RunOutput runTarget(const Args& a, bool allTools) {
 
 int cmdRun(const Args& a) {
   driver::RunOutput run = runTarget(a, /*allTools=*/false);
-  core::MergedCtt merged = driver::mergeCypress(run);
+  core::MergedCtt merged = driver::mergeCypress(run, nullptr, a.threads);
   const auto bytes = merged.serialize();
   const std::string out = a.out.empty() ? a.target + ".cyp" : a.out;
   writeFile(out, bytes);
@@ -322,7 +325,7 @@ int cmdDiff(const Args& a) {
 
 int cmdCompare(const Args& a) {
   driver::RunOutput run = runTarget(a, /*allTools=*/true);
-  driver::SizeReport rep = driver::computeSizes(run);
+  driver::SizeReport rep = driver::computeSizes(run, a.threads);
   std::printf("%s, %d ranks, %zu events\n", a.target.c_str(), a.procs,
               run.raw.totalEvents());
   std::printf("  raw          %12s\n", humanBytes(rep.rawBytes).c_str());
