@@ -71,6 +71,7 @@ RunOutput runSource(const std::string& name, const std::string& source,
     std::vector<trace::Observer*> none(static_cast<size_t>(opts.procs), nullptr);
     vm::RunOptions baseOpts;
     baseOpts.onStall = opts.onStall;
+    baseOpts.threads = opts.threads;
     Stopwatch w;
     vm::run(*out.module, engine, none, baseOpts);
     out.baselineWallSeconds = w.seconds();
@@ -122,6 +123,7 @@ RunOutput runSource(const std::string& name, const std::string& source,
   vm::RunOptions runOpts;
   runOpts.instructionLimitPerRank = 1ull << 34;
   runOpts.onStall = opts.onStall;
+  runOpts.threads = opts.threads;
   Stopwatch w;
   out.runStats = vm::run(*out.module, engine, obs, runOpts);
   out.tracedWallSeconds = w.seconds();

@@ -30,11 +30,13 @@ namespace cypress::driver {
 struct Options {
   int procs = 8;
   int scale = 1;
-  /// Parallelism of the post-run pipeline stages (per-rank trace
-  /// serialization/compression, the inter-process merge reduction, and
-  /// flate sharding). All parallel stages are fixed-order fan-outs on
-  /// the shared pool (support/thread_pool.hpp), so every produced trace
-  /// is byte-identical for any value of `threads`.
+  /// Parallelism of the traced run itself (the epoch scheduler's local
+  /// phases, see vm/runner.hpp) and of the post-run pipeline stages
+  /// (per-rank trace serialization/compression, the inter-process merge
+  /// reduction, and flate sharding). All parallel stages are fixed-order
+  /// fan-outs on the shared pool (support/thread_pool.hpp) with a
+  /// deterministic commit order, so every produced trace is
+  /// byte-identical for any value of `threads`.
   int threads = 1;
   /// Also produce per-rank compressed CYPP trace files (the paper's
   /// deployment model: each process writes flate(ctt) at MPI_Finalize).

@@ -200,6 +200,66 @@ void decompressBlockInto(uint8_t kind, ByteReader& r, std::vector<uint8_t>& out,
                                        << " bytes, expected " << expect);
 }
 
+// Plausibility bounds used to vet framed shard headers before the
+// parallel path preallocates the whole output. A Huffman block payload
+// is at least the kind byte, the two nibble-packed code-length tables
+// (ceil(286/2) + ceil(30/2) bytes) and the bit-count varint; and each
+// payload byte holds at most 8 literal codes (8 bytes out) or 4 minimal
+// length+distance pairs (4 * 258 = 1032 bytes out), so a shard claiming
+// more than 1032x expansion is corrupt.
+constexpr size_t kMinHuffmanPayload = 1 + 143 + 15 + 1;
+constexpr uint64_t kMaxExpansion = 1032;
+
+/// Decode one block (kind already consumed) into the caller's
+/// `expect`-byte slice `dst`. Same stream format and checks as
+/// decompressBlockInto, but writing to preallocated memory so framed
+/// shards can decode concurrently into disjoint slices.
+void decompressBlockToSlice(uint8_t kind, ByteReader& r, uint8_t* dst,
+                            uint64_t expect) {
+  if (kind == kBlockStored) {
+    CYP_CHECK(expect == r.remaining(),
+              "flate: stored block has " << r.remaining()
+                                         << " bytes but header claims "
+                                         << expect);
+    auto raw = r.raw(expect);
+    std::memcpy(dst, raw.data(), raw.size());
+    return;
+  }
+  CYP_CHECK(kind == kBlockHuffman, "flate: unknown block kind " << int(kind));
+  const auto litLens = readLengths(r, kNumLitLen);
+  const auto distLens = readLengths(r, kNumDist);
+  HuffmanDecoder litDec(litLens), distDec(distLens);
+  const uint64_t nbits = r.uv();
+  BitReader br(r.raw(nbits));
+  uint64_t n = 0;
+  while (true) {
+    const int sym = litDec.decode(br);
+    if (sym == kEob) break;
+    if (sym < 256) {
+      CYP_CHECK(n < expect, "flate: output exceeds declared size " << expect);
+      dst[n++] = static_cast<uint8_t>(sym);
+      continue;
+    }
+    const int ls = sym - 257;
+    CYP_CHECK(ls >= 0 && ls < 29, "flate: bad length symbol " << sym);
+    uint32_t len = kLenBase[ls];
+    if (kLenExtra[ls]) len += br.get(kLenExtra[ls]);
+    const int ds = distDec.decode(br);
+    CYP_CHECK(ds >= 0 && ds < 30, "flate: bad distance symbol " << ds);
+    uint32_t dist = kDistBase[ds];
+    if (kDistExtra[ds]) dist += br.get(kDistExtra[ds]);
+    CYP_CHECK(dist <= n, "flate: back-reference before start");
+    CYP_CHECK(len <= expect - n,
+              "flate: output exceeds declared size " << expect);
+    // Byte-by-byte on purpose: the source may overlap the destination
+    // (dist < len repeats the pattern), exactly like the vector path.
+    const size_t from = static_cast<size_t>(n - dist);
+    for (uint32_t i = 0; i < len; ++i) dst[n++] = dst[from + i];
+  }
+  CYP_CHECK(n == expect, "flate: block decoded to "
+                             << n << " bytes, expected " << expect);
+}
+
 }  // namespace
 
 uint32_t crc32(std::span<const uint8_t> data) {
@@ -245,7 +305,7 @@ std::vector<uint8_t> compress(std::span<const uint8_t> data, Level level,
   return w.take();
 }
 
-std::vector<uint8_t> decompress(std::span<const uint8_t> data) {
+std::vector<uint8_t> decompress(std::span<const uint8_t> data, int threads) {
   ByteReader r(data);
   auto magic = r.raw(4);
   CYP_CHECK(std::memcmp(magic.data(), kMagic, 4) == 0, "flate: bad magic");
@@ -261,13 +321,45 @@ std::vector<uint8_t> decompress(std::span<const uint8_t> data) {
                 "flate: framed container has " << nShards
                                                << " shards for declared size "
                                                << originalSize);
+      // Shards write into disjoint fixed slices of the output, so they
+      // are independent decode tasks. Walk every shard header first and
+      // vet it against the plausibility bounds above — only then is the
+      // declared size trusted enough to allocate, so a corrupt header
+      // cannot turn a tiny input into a huge up-front allocation.
+      struct Shard {
+        std::span<const uint8_t> payload;
+        uint64_t expect = 0;
+      };
+      std::vector<Shard> shards(nShards);
       for (uint64_t i = 0; i < nShards; ++i) {
         const uint64_t expect =
             std::min<uint64_t>(kShardBytes, originalSize - i * kShardBytes);
-        ByteReader shard(r.raw(r.checkedCount(r.uv(), 1)));
-        decompressBlockInto(shard.u8(), shard, out, expect);
-        CYP_CHECK(shard.atEnd(), "flate: trailing bytes in shard " << i);
+        const auto payload = r.raw(r.checkedCount(r.uv(), 1));
+        CYP_CHECK(!payload.empty(), "flate: empty shard " << i);
+        if (payload[0] == kBlockStored) {
+          CYP_CHECK(payload.size() - 1 == expect,
+                    "flate: stored block has " << payload.size() - 1
+                                               << " bytes but header claims "
+                                               << expect);
+        } else {
+          CYP_CHECK(payload[0] == kBlockHuffman,
+                    "flate: unknown block kind " << int(payload[0]));
+          CYP_CHECK(payload.size() >= kMinHuffmanPayload,
+                    "flate: huffman shard " << i << " truncated ("
+                                            << payload.size() << " bytes)");
+          CYP_CHECK(expect <= kMaxExpansion * payload.size(),
+                    "flate: shard " << i << " claims implausible expansion");
+        }
+        shards[i] = {payload, expect};
       }
+      out.resize(originalSize);
+      parallelFor(nShards, threads, [&](size_t i) {
+        ByteReader shard(shards[i].payload);
+        const uint8_t shardKind = shard.u8();
+        decompressBlockToSlice(shardKind, shard, out.data() + i * kShardBytes,
+                               shards[i].expect);
+        CYP_CHECK(shard.atEnd(), "flate: trailing bytes in shard " << i);
+      });
     } else {
       decompressBlockInto(kind, r, out, originalSize);
     }

@@ -42,8 +42,13 @@ std::vector<uint8_t> compress(std::span<const uint8_t> data,
                               Level level = Level::Default, int threads = 1);
 
 /// Decompress a buffer produced by compress(); throws cypress::Error on
-/// corrupt input (bad magic, bad codes, CRC mismatch).
-std::vector<uint8_t> decompress(std::span<const uint8_t> data);
+/// corrupt input (bad magic, bad codes, CRC mismatch). Framed containers
+/// decode their shards concurrently (`threads` lanes): the shard headers
+/// are walked and sanity-checked first, then each shard inflates into
+/// its own fixed slice of the output, so the result is byte-identical to
+/// a sequential decode.
+std::vector<uint8_t> decompress(std::span<const uint8_t> data,
+                                int threads = 1);
 
 /// Convenience: size in bytes after compression.
 size_t compressedSize(std::span<const uint8_t> data,

@@ -9,9 +9,15 @@
 namespace cypress::simmpi {
 
 Engine::Engine(const Config& cfg)
-    : net_(cfg.net), jitter_(cfg.jitter), rng_(cfg.seed), faults_(cfg.faults) {
+    : net_(cfg.net), jitter_(cfg.jitter), faults_(cfg.faults) {
   CYP_CHECK(cfg.numRanks >= 1, "engine needs at least one rank");
   ranks_.resize(static_cast<size_t>(cfg.numRanks));
+  // Each rank draws jitter from its own stream so the values it sees are
+  // a function of (seed, rank, draw index) alone — independent of how
+  // rank executions interleave under the parallel scheduler.
+  for (int r = 0; r < cfg.numRanks; ++r)
+    ranks_[static_cast<size_t>(r)].rng =
+        Rng(cfg.seed + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(r + 1));
   // Communicator 0 is MPI_COMM_WORLD.
   std::vector<int> world(static_cast<size_t>(cfg.numRanks));
   for (int r = 0; r < cfg.numRanks; ++r) world[static_cast<size_t>(r)] = r;
@@ -35,9 +41,9 @@ void Engine::setObserver(int rank, trace::Observer* obs) {
   rs(rank).observer = obs;
 }
 
-uint64_t Engine::jittered(uint64_t ns, int /*rank*/) {
+uint64_t Engine::jittered(uint64_t ns, int rank) {
   if (jitter_ <= 0.0 || ns == 0) return ns;
-  const double f = 1.0 + jitter_ * (2.0 * rng_.uniform() - 1.0);
+  const double f = 1.0 + jitter_ * (2.0 * rs(rank).rng.uniform() - 1.0);
   return static_cast<uint64_t>(static_cast<double>(ns) * f);
 }
 

@@ -7,6 +7,14 @@
 // scheduler retries via poll() once other ranks make progress. All
 // matching and completion orders are deterministic functions of the
 // schedule, so whole-program runs are reproducible bit-for-bit.
+//
+// Threading contract (see vm/runner.cpp for the epoch scheduler): only
+// addCompute() touches nothing but the issuing rank's own RankState —
+// including its private jitter RNG — and may be called from that rank's
+// pool thread during a parallel local phase. Every other mutating entry
+// point (execute, poll, finalizeRank, setObserver) reaches cross-rank
+// state (message queues, collectives, the progress flag) and must be
+// called from the single commit thread, in deterministic rank order.
 #pragma once
 
 #include <cstdint>
@@ -173,6 +181,7 @@ class Engine {
     uint64_t clock = 0;
     uint64_t commTime = 0;
     uint64_t computeAccum = 0;  // compute since previous event
+    Rng rng{0};                 // per-rank jitter stream (thread-isolated)
     std::vector<Request> requests;
     std::vector<int64_t> outstanding;    // non-blocking requests not yet waited
     std::deque<Message> unexpected;      // arrived, unmatched messages
@@ -237,7 +246,6 @@ class Engine {
   std::vector<std::vector<int>> comms_;  // comm id -> member world ranks
   LogGP net_;
   double jitter_;
-  Rng rng_;
   FaultPlan faults_;
   // Collectives per communicator, indexed by sequence number.
   std::map<int, std::deque<Collective>> collectives_;

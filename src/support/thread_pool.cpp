@@ -7,9 +7,10 @@
 namespace cypress {
 
 ThreadPool::ThreadPool(unsigned workers) {
-  workers_.reserve(std::max(1u, workers));
-  for (unsigned i = 0; i < std::max(1u, workers); ++i)
-    workers_.emplace_back([this] { workerLoop(); });
+  target_ = std::max(1u, workers);
+  workers_.reserve(target_);
+  for (unsigned i = 0; i < target_; ++i)
+    workers_.emplace_back([this, i] { workerLoop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -41,12 +42,15 @@ bool ThreadPool::tryRunOne() {
   return true;
 }
 
-void ThreadPool::workerLoop() {
+void ThreadPool::workerLoop(unsigned id) {
   while (true) {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      cv_.wait(lk, [this, id] {
+        return stop_ || id >= target_ || !queue_.empty();
+      });
+      if (id >= target_) return;   // retired by resize(); others drain
       if (queue_.empty()) return;  // stop_ with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -55,10 +59,33 @@ void ThreadPool::workerLoop() {
   }
 }
 
+void ThreadPool::resize(unsigned workers) {
+  workers = std::max(1u, workers);
+  std::vector<std::thread> retired;
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (workers == target_) return;
+    if (workers < target_) {
+      for (size_t i = workers; i < workers_.size(); ++i)
+        retired.push_back(std::move(workers_[i]));
+      workers_.resize(workers);
+    } else {
+      for (unsigned i = target_; i < workers; ++i)
+        workers_.emplace_back([this, i] { workerLoop(i); });
+    }
+    target_ = workers;
+  }
+  cv_.notify_all();
+  // A retired worker may be mid-task; it exits after finishing it.
+  for (auto& t : retired) t.join();
+}
+
 ThreadPool& ThreadPool::shared() {
   static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
   return pool;
 }
+
+void ThreadPool::configureShared(unsigned workers) { shared().resize(workers); }
 
 void parallelFor(size_t n, int threads, const std::function<void(size_t)>& fn,
                  ThreadPool* pool) {

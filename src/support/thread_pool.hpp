@@ -38,6 +38,14 @@ class ThreadPool {
 
   unsigned workerCount() const { return static_cast<unsigned>(workers_.size()); }
 
+  /// Grow or shrink the pool to exactly `workers` (clamped to >= 1)
+  /// threads. Shrinking retires the highest-numbered workers: each
+  /// finishes the task it is running, then exits and is joined before
+  /// resize() returns; queued tasks are never lost — the surviving
+  /// workers (and helping submitters) drain them. Call from outside the
+  /// pool's own tasks (e.g. a tool's main thread), not from within one.
+  void resize(unsigned workers);
+
   /// Append a task to the FIFO queue.
   void enqueue(std::function<void()> task);
 
@@ -59,13 +67,21 @@ class ThreadPool {
   /// and reused by every pipeline stage.
   static ThreadPool& shared();
 
+  /// Resize the shared pool to the user's requested `--threads` count so
+  /// a request for fewer threads does not leave hardware_concurrency
+  /// workers running (oversubscription when the caller then does its own
+  /// threading, wasted idle threads otherwise). Equivalent to
+  /// shared().resize(workers).
+  static void configureShared(unsigned workers);
+
  private:
-  void workerLoop();
+  void workerLoop(unsigned id);
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
+  unsigned target_ = 0;  // desired worker count; workers with id >= it exit
   std::vector<std::thread> workers_;
 };
 

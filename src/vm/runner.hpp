@@ -1,4 +1,21 @@
-// Deterministic round-robin scheduler over per-rank VMs.
+// Deterministic epoch scheduler over per-rank VMs.
+//
+// Each iteration ("epoch") has two phases:
+//
+//   1. Local phase — every runnable rank executes instructions up to
+//      its next MPI call (RankVM::runLocal). Local phases touch only
+//      rank-private state, so they fan out on the fixed-order thread
+//      pool when RunOptions::threads > 1.
+//   2. Commit phase — on the calling thread, in ascending rank order,
+//      each rank performs its parked engine interaction
+//      (RankVM::commitStep): issue the prepared MPI call, poll a
+//      blocked one, or finalize a finished rank.
+//
+// Which ranks are parked where at each epoch is a pure function of the
+// program, and all cross-rank effects (message matching, collectives,
+// trace emission, journal flushes) happen in commit order — so the run
+// and every artifact it produces are byte-identical at any thread
+// count, including threads=1.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +38,10 @@ enum class OnStall : uint8_t { Throw, Salvage };
 struct RunOptions {
   uint64_t instructionLimitPerRank = 1ull << 40;
   OnStall onStall = OnStall::Throw;
+  /// Lanes of concurrency for the local phases (1 = fully sequential).
+  /// Any value produces byte-identical traces; this is purely a speed
+  /// knob for the run stage.
+  int threads = 1;
 };
 
 struct RunResult {

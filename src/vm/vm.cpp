@@ -41,6 +41,11 @@ int64_t RankVM::eval(const ir::Expr& e) const {
   return ir::evalExpr(e, env);
 }
 
+void RankVM::countInstr() {
+  CYP_CHECK(++instructions_ <= instructionLimit_,
+            "rank " << rank_ << " exceeded the instruction limit — runaway loop?");
+}
+
 void RankVM::pushFrame(const ir::Function* fn, std::vector<int64_t> args) {
   Frame f;
   f.fn = fn;
@@ -54,8 +59,11 @@ void RankVM::popFrame() {
   frames_.pop_back();
   if (!frames_.empty() && observer_) observer_->onCallExit(fn->name);
   if (frames_.empty()) {
+    // The program is done, but finalizeRank() flushes the observer —
+    // journal recorders write into a shared builder — so it is deferred
+    // to the commit phase, where it runs in deterministic rank order.
     finished_ = true;
-    engine_.finalizeRank(rank_);
+    needsFinalize_ = true;
   }
 }
 
@@ -97,67 +105,54 @@ bool RankVM::executeInstr(const ir::Instr& i) {
       // Signal the caller loop to not advance again.
       return false;
     }
-    case ir::InstrKind::MpiCall: {
-      simmpi::OpDesc d;
-      d.op = i.mpiOp;
-      d.callSiteId = i.callSiteId;
-      if (i.commExpr) d.comm = static_cast<int32_t>(eval(*i.commExpr));
-      switch (i.mpiOp) {
-        case ir::MpiOp::Send:
-        case ir::MpiOp::Isend:
-        case ir::MpiOp::Recv:
-        case ir::MpiOp::Irecv:
-          d.peer = static_cast<int32_t>(eval(*i.args[0]));
-          d.bytes = eval(*i.args[1]);
-          d.tag = static_cast<int32_t>(eval(*i.args[2]));
-          break;
-        case ir::MpiOp::Bcast:
-        case ir::MpiOp::Reduce:
-        case ir::MpiOp::Gather:
-        case ir::MpiOp::Scatter:
-          d.peer = static_cast<int32_t>(eval(*i.args[0]));
-          d.bytes = eval(*i.args[1]);
-          break;
-        case ir::MpiOp::Allreduce:
-        case ir::MpiOp::Allgather:
-        case ir::MpiOp::Alltoall:
-        case ir::MpiOp::Scan:
-          d.bytes = eval(*i.args[0]);
-          break;
-        case ir::MpiOp::Wait:
-          d.waitReqId = f.vars[static_cast<size_t>(i.reqVar)];
-          break;
-        case ir::MpiOp::CommSplit:
-          d.color = static_cast<int32_t>(eval(*i.args[0]));
-          d.key = static_cast<int32_t>(eval(*i.args[1]));
-          break;
-        case ir::MpiOp::Waitall:
-        case ir::MpiOp::Waitany:
-        case ir::MpiOp::Waitsome:
-        case ir::MpiOp::Barrier:
-          break;
-      }
-      int64_t reqId = -1;
-      const simmpi::OpStatus st = engine_.execute(rank_, d, &reqId);
-      if (st == simmpi::OpStatus::Failed) {
-        // Killed by the fault plan: abandon the frame stack without
-        // finalizing the rank or its observer.
-        died_ = true;
-        finished_ = true;
-        return false;
-      }
-      if (ir::isNonBlockingStart(i.mpiOp))
-        f.vars[static_cast<size_t>(i.reqVar)] = reqId;
-      if (st == simmpi::OpStatus::Blocked) {
-        waitingOnEngine_ = true;
-        return false;
-      }
-      if (i.mpiOp == ir::MpiOp::CommSplit)
-        f.vars[static_cast<size_t>(i.reqVar)] = engine_.takeOpResult(rank_);
-      return true;
-    }
+    case ir::InstrKind::MpiCall:
+      CYP_FAIL("MpiCall reached executeInstr — handled by the commit phase");
   }
   CYP_FAIL("bad instr kind");
+}
+
+simmpi::OpDesc RankVM::buildOpDesc(const ir::Instr& i) const {
+  const Frame& f = frames_.back();
+  simmpi::OpDesc d;
+  d.op = i.mpiOp;
+  d.callSiteId = i.callSiteId;
+  if (i.commExpr) d.comm = static_cast<int32_t>(eval(*i.commExpr));
+  switch (i.mpiOp) {
+    case ir::MpiOp::Send:
+    case ir::MpiOp::Isend:
+    case ir::MpiOp::Recv:
+    case ir::MpiOp::Irecv:
+      d.peer = static_cast<int32_t>(eval(*i.args[0]));
+      d.bytes = eval(*i.args[1]);
+      d.tag = static_cast<int32_t>(eval(*i.args[2]));
+      break;
+    case ir::MpiOp::Bcast:
+    case ir::MpiOp::Reduce:
+    case ir::MpiOp::Gather:
+    case ir::MpiOp::Scatter:
+      d.peer = static_cast<int32_t>(eval(*i.args[0]));
+      d.bytes = eval(*i.args[1]);
+      break;
+    case ir::MpiOp::Allreduce:
+    case ir::MpiOp::Allgather:
+    case ir::MpiOp::Alltoall:
+    case ir::MpiOp::Scan:
+      d.bytes = eval(*i.args[0]);
+      break;
+    case ir::MpiOp::Wait:
+      d.waitReqId = f.vars[static_cast<size_t>(i.reqVar)];
+      break;
+    case ir::MpiOp::CommSplit:
+      d.color = static_cast<int32_t>(eval(*i.args[0]));
+      d.key = static_cast<int32_t>(eval(*i.args[1]));
+      break;
+    case ir::MpiOp::Waitall:
+    case ir::MpiOp::Waitany:
+    case ir::MpiOp::Waitsome:
+    case ir::MpiOp::Barrier:
+      break;
+  }
+  return d;
 }
 
 void RankVM::executeTerminator() {
@@ -178,11 +173,40 @@ void RankVM::executeTerminator() {
   }
 }
 
-StepResult RankVM::step() {
-  CYP_CHECK(!finished_, "step() on finished rank " << rank_);
+RankVM::Local RankVM::runLocal() {
+  if (finished_) return Local::Finished;
+  if (waitingOnEngine_) return Local::Waiting;
+  if (atMpi_) return Local::AtMpi;
 
+  while (!finished_) {
+    const ir::Instr* i = currentInstr();
+    if (i == nullptr) {
+      countInstr();
+      executeTerminator();
+      continue;
+    }
+    if (i->kind == ir::InstrKind::MpiCall) {
+      // Argument evaluation is rank-local, so it belongs in the parallel
+      // phase; the call itself is issued at commit and counted there.
+      pendingDesc_ = buildOpDesc(*i);
+      atMpi_ = true;
+      return Local::AtMpi;
+    }
+    countInstr();
+    if (executeInstr(*i)) ++frames_.back().instr;
+    // else: a Call pushed a frame; continue in the callee.
+  }
+  return Local::Finished;
+}
+
+bool RankVM::commitStep() {
+  if (needsFinalize_) {
+    engine_.finalizeRank(rank_);
+    needsFinalize_ = false;
+    return true;
+  }
   if (waitingOnEngine_) {
-    if (engine_.poll(rank_) == simmpi::OpStatus::Blocked) return StepResult::Blocked;
+    if (engine_.poll(rank_) == simmpi::OpStatus::Blocked) return false;
     waitingOnEngine_ = false;
     const ir::Instr* blocked = currentInstr();
     if (blocked != nullptr && blocked->kind == ir::InstrKind::MpiCall &&
@@ -191,24 +215,34 @@ StepResult RankVM::step() {
           engine_.takeOpResult(rank_);
     }
     ++frames_.back().instr;  // past the blocking MPI instruction
+    return true;
   }
-
-  while (!finished_) {
-    CYP_CHECK(++instructions_ <= instructionLimit_,
-              "rank " << rank_ << " exceeded the instruction limit — runaway loop?");
-    const ir::Instr* i = currentInstr();
-    if (i == nullptr) {
-      executeTerminator();
-      continue;
+  if (atMpi_) {
+    atMpi_ = false;
+    countInstr();
+    const ir::Instr& i = *currentInstr();
+    int64_t reqId = -1;
+    const simmpi::OpStatus st = engine_.execute(rank_, pendingDesc_, &reqId);
+    if (st == simmpi::OpStatus::Failed) {
+      // Killed by the fault plan: abandon the frame stack without
+      // finalizing the rank or its observer.
+      died_ = true;
+      finished_ = true;
+      return true;
     }
-    if (executeInstr(*i)) {
-      ++frames_.back().instr;
-      continue;
+    Frame& f = frames_.back();
+    if (ir::isNonBlockingStart(i.mpiOp))
+      f.vars[static_cast<size_t>(i.reqVar)] = reqId;
+    if (st == simmpi::OpStatus::Blocked) {
+      waitingOnEngine_ = true;
+      return true;  // issuing counts as progress even when it blocks
     }
-    if (waitingOnEngine_) return StepResult::Blocked;
-    // A Call pushed a frame; continue in the callee.
+    if (i.mpiOp == ir::MpiOp::CommSplit)
+      f.vars[static_cast<size_t>(i.reqVar)] = engine_.takeOpResult(rank_);
+    ++f.instr;
+    return true;
   }
-  return StepResult::Finished;
+  return false;
 }
 
 }  // namespace cypress::vm

@@ -1,11 +1,25 @@
 // Resumable per-rank interpreter for the cypress IR.
 //
-// Each simulated MPI process is one RankVM. step() executes instructions
-// until the rank blocks inside the simulated MPI engine or the program
-// finishes; a round-robin scheduler (see runner.hpp) interleaves ranks.
-// The VM emits the PMPI observer hooks: structure markers inserted by
-// the CST instrumentation pass, user-function call boundaries, and MPI
-// events (via the engine).
+// Each simulated MPI process is one RankVM, driven by the epoch
+// scheduler in runner.cpp in two alternating phases:
+//
+//   - runLocal() executes instructions up to (but not including) the
+//     next MPI call, evaluating that call's arguments into a prepared
+//     OpDesc. It touches only this rank's own state — frames, the
+//     rank's observer, and the engine's rank-local compute accounting —
+//     so local phases of different ranks may run on pool threads
+//     concurrently.
+//   - commitStep() performs the rank's parked engine interaction
+//     (issue the prepared MPI call, poll a blocked one, or finalize a
+//     finished rank). Commits mutate cross-rank engine state and must
+//     run on a single thread, in deterministic rank order.
+//
+// The VM emits the PMPI observer hooks: structure markers and
+// user-function call boundaries from runLocal() (on the rank's local
+// thread), MPI events and finalization from commitStep() (via the
+// engine, on the commit thread). Per-rank observer stacks are isolated,
+// except that journal recorders flush into a shared builder — which is
+// why those flushes only ever happen on the commit thread.
 #pragma once
 
 #include <cstdint>
@@ -17,17 +31,40 @@
 
 namespace cypress::vm {
 
-enum class StepResult : uint8_t { Blocked, Finished };
-
 class RankVM {
  public:
   /// `observer` may be null (no tracing). The module must outlive the VM.
   RankVM(const ir::Module& m, int rank, simmpi::Engine& engine,
          trace::Observer* observer);
 
-  /// Run until the rank blocks or finishes. Each call makes progress
-  /// (completing a blocked op counts); calling after Finished is an error.
-  StepResult step();
+  /// Where a local phase left the rank.
+  enum class Local : uint8_t {
+    AtMpi,     ///< parked at an MPI call, OpDesc prepared for commit
+    Waiting,   ///< blocked in the engine, needs a poll at commit
+    Finished,  ///< program done (finalize may still be pending) or died
+  };
+
+  /// Execute instructions until the next MPI call, a block, or program
+  /// end. Safe to run concurrently with other ranks' local phases; never
+  /// touches cross-rank engine state. Calling it on a rank that is
+  /// waiting/parked/finished returns the current state without work.
+  Local runLocal();
+
+  /// True when the rank has a commit-phase action pending (a prepared
+  /// MPI call, a blocked op to poll, or a deferred finalize).
+  bool hasCommitWork() const {
+    return atMpi_ || waitingOnEngine_ || needsFinalize_;
+  }
+
+  /// Perform the rank's pending engine interaction on the commit thread.
+  /// Returns true when the rank's state advanced: an op was issued (even
+  /// if it then blocked), a blocked op completed, or the rank finalized.
+  /// A poll that stays Blocked returns false.
+  bool commitStep();
+
+  /// Fully finished: the program ended AND the deferred finalize (or
+  /// death) has been committed. Such a rank needs no further phases.
+  bool fullyFinished() const { return finished_ && !needsFinalize_; }
 
   bool finished() const { return finished_; }
   /// True when the fault plan killed this rank mid-program. The VM is
@@ -50,18 +87,23 @@ class RankVM {
   };
 
   const ir::Instr* currentInstr() const;
-  bool executeInstr(const ir::Instr& i);  // false when the rank blocked
+  bool executeInstr(const ir::Instr& i);  // non-MPI instructions only
+  simmpi::OpDesc buildOpDesc(const ir::Instr& i) const;
   void executeTerminator();
   void pushFrame(const ir::Function* fn, std::vector<int64_t> args);
   void popFrame();
   int64_t eval(const ir::Expr& e) const;
+  void countInstr();
 
   const ir::Module& module_;
   int rank_;
   simmpi::Engine& engine_;
   trace::Observer* observer_;
   std::vector<Frame> frames_;
-  bool waitingOnEngine_ = false;
+  simmpi::OpDesc pendingDesc_;    // valid while atMpi_
+  bool atMpi_ = false;            // parked at an MPI call, not yet issued
+  bool waitingOnEngine_ = false;  // issued and blocked, polled at commit
+  bool needsFinalize_ = false;    // program ended; finalize at commit
   bool finished_ = false;
   bool died_ = false;
   uint64_t instructions_ = 0;

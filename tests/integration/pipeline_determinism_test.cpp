@@ -1,7 +1,8 @@
 // The thread-count determinism contract of the whole pipeline: every
 // artifact the driver produces — merged CYPC trees, per-rank CYPP trace
-// files, flate containers, size reports — must be byte-identical no
-// matter how many threads the post-run stages fan out on.
+// files, flate containers, journals, size reports — must be
+// byte-identical no matter how many threads the run stage's epoch
+// scheduler or the post-run stages fan out on.
 #include <gtest/gtest.h>
 
 #include <string>
@@ -20,6 +21,87 @@ driver::RunOutput runCg(int threads) {
   opts.emitRankTraces = true;
   opts.withScala = false;  // keep the fixture fast; scala is untouched here
   return driver::runWorkload("CG", opts);
+}
+
+driver::Options runStageOptions(int threads) {
+  driver::Options opts;
+  opts.procs = 16;
+  opts.threads = threads;
+  opts.emitRankTraces = true;
+  opts.withJournal = true;
+  opts.withScala = false;
+  opts.withScala2 = false;
+  return opts;
+}
+
+/// Every run-stage artifact of `got` must equal `ref`'s, byte for byte.
+void expectSameRunArtifacts(const driver::RunOutput& ref,
+                            const driver::RunOutput& got) {
+  EXPECT_EQ(got.raw.serialize(), ref.raw.serialize());
+  EXPECT_EQ(got.rankTraceFiles, ref.rankTraceFiles);
+  EXPECT_EQ(driver::mergeCypress(got).serialize(),
+            driver::mergeCypress(ref).serialize());
+  ASSERT_NE(ref.journal, nullptr);
+  ASSERT_NE(got.journal, nullptr);
+  EXPECT_EQ(got.journal->bytes(), ref.journal->bytes());
+  EXPECT_EQ(got.runStats.executionNs, ref.runStats.executionNs);
+  EXPECT_EQ(got.runStats.totalInstructions, ref.runStats.totalInstructions);
+}
+
+TEST(PipelineDeterminism, RunStageByteIdenticalAcrossThreadCounts) {
+  // The epoch scheduler must produce identical CYPP per-rank traces,
+  // merged CYPC, raw stream, and journal at every thread count, across
+  // point-to-point (CG), wavefront (LU), and collective-heavy (FT)
+  // communication shapes.
+  for (const char* name : {"CG", "LU", "FT"}) {
+    SCOPED_TRACE(name);
+    const driver::RunOutput ref =
+        driver::runWorkload(name, runStageOptions(1));
+    ASSERT_TRUE(ref.runStats.clean());
+    for (int threads : {2, 4, 8}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      const driver::RunOutput got =
+          driver::runWorkload(name, runStageOptions(threads));
+      expectSameRunArtifacts(ref, got);
+    }
+  }
+}
+
+TEST(PipelineDeterminism, WildcardHeavyRunByteIdenticalAcrossThreadCounts) {
+  // Master/worker with MPI_ANY_SOURCE: the match order of wildcard
+  // receives is exactly the place where a racy scheduler would leak
+  // thread-count into the trace, so hammer it — every worker's messages
+  // race toward rank 0 and are matched by the deterministic
+  // lowest-src/FIFO tiebreak in commit order.
+  const std::string source = R"(
+    func main() {
+      if (rank == 0) {
+        var total = (size - 1) * 4;
+        for (var i = 0; i < total; i = i + 1) {
+          mpi_recv(ANY_SOURCE, 64, 7);
+        }
+        for (var w = 1; w < size; w = w + 1) {
+          mpi_send(w, 8, 9);
+        }
+      } else {
+        for (var j = 0; j < 3; j = j + 1) {
+          compute(1000 * rank + j * 37);
+          mpi_send(0, 64, 7);
+        }
+        var r = mpi_isend(0, 64, 7);
+        mpi_wait(r);
+        mpi_recv(0, 8, 9);
+      }
+    })";
+  const driver::RunOutput ref =
+      driver::runSource("wildcard", source, runStageOptions(1));
+  ASSERT_TRUE(ref.runStats.clean());
+  for (int threads : {2, 4, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const driver::RunOutput got =
+        driver::runSource("wildcard", source, runStageOptions(threads));
+    expectSameRunArtifacts(ref, got);
+  }
 }
 
 TEST(PipelineDeterminism, FullRunByteIdenticalAcrossThreadCounts) {
@@ -62,9 +144,12 @@ TEST(PipelineDeterminism, FlateOverRealPayloadsIdenticalAcrossThreads) {
   for (const auto& payload : {rawBytes, cypBytes}) {
     const auto ref = flate::compress(payload, flate::Level::Default, 1);
     EXPECT_EQ(flate::decompress(ref), payload);
-    for (int threads : {2, 4, 8})
+    for (int threads : {2, 4, 8}) {
       EXPECT_EQ(flate::compress(payload, flate::Level::Default, threads), ref)
           << "payload " << payload.size() << " threads " << threads;
+      EXPECT_EQ(flate::decompress(ref, threads), payload)
+          << "payload " << payload.size() << " threads " << threads;
+    }
   }
 }
 

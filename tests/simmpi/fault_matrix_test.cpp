@@ -5,6 +5,8 @@
 // watchdog), never a crash, never a silently wrong trace.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "driver/pipeline.hpp"
 #include "simmpi/fault.hpp"
 #include "support/error.hpp"
@@ -13,9 +15,10 @@
 namespace cypress {
 namespace {
 
-driver::Options faultOptions(const simmpi::FaultPlan& plan) {
+driver::Options faultOptions(const simmpi::FaultPlan& plan, int threads = 1) {
   driver::Options opts;
   opts.procs = 8;
+  opts.threads = threads;
   opts.withScala = false;  // the contract under test is CYPRESS + journal
   opts.withScala2 = false;
   opts.engine.faults = plan;
@@ -133,6 +136,71 @@ TEST(FaultMatrix, EveryRankDeadDegradesToAnnotatedEmptyTrace) {
   cst::Tree tree;
   const auto back = core::MergedCtt::deserializeWithTree(bytes, tree);
   EXPECT_EQ(back.serialize(), bytes);
+}
+
+TEST(FaultMatrix, ParallelSchedulerPreservesFaultOutcomes) {
+  // The seeded matrix again, but under the parallel epoch scheduler:
+  // every plan must resolve to exactly the same outcome at threads 1
+  // and threads 4 — same journal bytes, same casualties, same
+  // diagnostics, or the same structured error. Fault ordinals are
+  // per-rank counters and commits run in rank order, so the thread
+  // count must be unobservable even mid-crash.
+  for (uint64_t seed = 1; seed <= 12; ++seed) {
+    const auto plan = simmpi::randomFaultPlan(seed, /*numRanks=*/8);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " + plan.toString());
+    struct Outcome {
+      bool threw = false;
+      std::string error;
+      std::vector<uint8_t> journal;
+      std::vector<int> deadRanks;
+      std::vector<int> stalledRanks;
+      std::string stallDiagnostics;
+    };
+    auto runAt = [&](int threads) {
+      Outcome o;
+      try {
+        const auto run = driver::runWorkload("JACOBI",
+                                             faultOptions(plan, threads));
+        checkOutcome(run, plan);
+        o.journal = run.journal->bytes();
+        o.deadRanks = run.runStats.deadRanks;
+        o.stalledRanks = run.runStats.stalledRanks;
+        o.stallDiagnostics = run.runStats.stallDiagnostics;
+      } catch (const Error& e) {
+        o.threw = true;
+        o.error = e.what();
+      }
+      return o;
+    };
+    const Outcome seq = runAt(1);
+    const Outcome par = runAt(4);
+    EXPECT_EQ(par.threw, seq.threw);
+    EXPECT_EQ(par.error, seq.error);
+    EXPECT_EQ(par.journal, seq.journal);
+    EXPECT_EQ(par.deadRanks, seq.deadRanks);
+    EXPECT_EQ(par.stalledRanks, seq.stalledRanks);
+    EXPECT_EQ(par.stallDiagnostics, seq.stallDiagnostics);
+  }
+}
+
+TEST(FaultMatrix, CollectiveFaultsIdenticalUnderParallelScheduler) {
+  // FT's collectives under the same contract: abort faults that land
+  // inside half-arrived collectives must salvage identically at any
+  // thread count.
+  for (uint64_t seed = 100; seed < 104; ++seed) {
+    const auto plan = simmpi::randomFaultPlan(seed, /*numRanks=*/8);
+    SCOPED_TRACE("seed " + std::to_string(seed) + ": " + plan.toString());
+    auto journalAt = [&](int threads) -> std::vector<uint8_t> {
+      try {
+        const auto run = driver::runWorkload("FT", faultOptions(plan, threads));
+        return run.journal->bytes();
+      } catch (const Error& e) {
+        return std::vector<uint8_t>(e.what(),
+                                    e.what() + std::strlen(e.what()));
+      }
+    };
+    EXPECT_EQ(journalAt(4), journalAt(1));
+  }
 }
 
 TEST(FaultMatrix, FaultedRunsAreDeterministic) {

@@ -129,5 +129,54 @@ TEST(ThreadPool, SharedPoolIsAvailable) {
   EXPECT_GE(ThreadPool::shared().workerCount(), 1u);
 }
 
+TEST(ThreadPool, ResizeShrinksAndGrows) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.workerCount(), 4u);
+  pool.resize(1);
+  EXPECT_EQ(pool.workerCount(), 1u);
+  // The shrunken pool still runs everything submitted to it.
+  std::atomic<int> hits{0};
+  parallelFor(64, 8, [&](size_t) { hits++; }, &pool);
+  EXPECT_EQ(hits.load(), 64);
+  pool.resize(3);
+  EXPECT_EQ(pool.workerCount(), 3u);
+  std::vector<std::future<int>> futs;
+  for (int i = 0; i < 12; ++i)
+    futs.push_back(pool.submit([i] { return i + 1; }));
+  for (int i = 0; i < 12; ++i) EXPECT_EQ(futs[static_cast<size_t>(i)].get(), i + 1);
+}
+
+TEST(ThreadPool, ResizeClampsToOneWorker) {
+  ThreadPool pool(2);
+  pool.resize(0);
+  EXPECT_EQ(pool.workerCount(), 1u);
+  EXPECT_EQ(pool.submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, ResizeDoesNotDropQueuedTasks) {
+  // Queue work faster than a 4-worker pool drains it, then shrink while
+  // the queue is non-empty: every task must still run exactly once.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i)
+    futs.push_back(pool.submit([&done] { done++; }));
+  pool.resize(1);
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(done.load(), 200);
+}
+
+TEST(ThreadPool, ConfigureSharedResizesTheSharedPool) {
+  const unsigned before = ThreadPool::shared().workerCount();
+  ThreadPool::configureShared(2);
+  EXPECT_EQ(ThreadPool::shared().workerCount(), 2u);
+  // The resized shared pool keeps serving fixed-order fan-outs.
+  std::vector<uint64_t> got(100);
+  parallelFor(got.size(), 4, [&](size_t i) { got[i] = i; });
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], i);
+  ThreadPool::configureShared(before);  // restore for other tests
+  EXPECT_EQ(ThreadPool::shared().workerCount(), before);
+}
+
 }  // namespace
 }  // namespace cypress

@@ -46,6 +46,7 @@
 #include "flate/flate.hpp"
 #include "replay/simulator.hpp"
 #include "support/strings.hpp"
+#include "support/thread_pool.hpp"
 #include "trace/matrix.hpp"
 #include "trace/otf_text.hpp"
 #include "trace/stats.hpp"
@@ -350,7 +351,7 @@ int cmdVerify(const Args& a) {
 
   if (isSource || isWorkload) {
     driver::RunOutput run = runTarget(a, /*allTools=*/true);
-    const verify::Report rep = driver::verifyRun(run);
+    const verify::Report rep = driver::verifyRun(run, a.threads);
     std::printf("%s, %d ranks, %zu events\n%s", a.target.c_str(), a.procs,
                 run.raw.totalEvents(), rep.toString().c_str());
     return rep.ok() ? 0 : 1;
@@ -380,6 +381,9 @@ int cmdVerify(const Args& a) {
 int main(int argc, char** argv) {
   try {
     const Args a = parse(argc, argv);
+    // Size the shared pool to the request: --threads is a promise about
+    // how many cores we occupy, not just a fan-out width.
+    ThreadPool::configureShared(static_cast<unsigned>(std::max(1, a.threads)));
     if (a.command == "run") return cmdRun(a);
     if (a.command == "recover") return cmdRecover(a);
     if (a.command == "info") return cmdInfo(a);
