@@ -43,25 +43,41 @@ RankSet RunOutput::lostRanks() const {
   return lost;
 }
 
+std::shared_ptr<const CompiledProgram> compileForTracing(
+    const std::string& source) {
+  auto out = std::make_shared<CompiledProgram>();
+
+  // Plain compile (Table I baseline).
+  {
+    Stopwatch w;
+    auto plain = minic::compileProgram(source);
+    out->plainCompileSeconds = w.seconds();
+    (void)plain;
+  }
+
+  // Compile + CYPRESS static phase.
+  std::unique_ptr<ir::Module> module = minic::compileProgram(source);
+  cst::StaticResult sr = cst::analyzeAndInstrument(*module);
+  out->module = std::move(module);
+  out->cst = std::make_shared<const cst::Tree>(std::move(sr.cst));
+  out->stats = sr.stats;
+  return out;
+}
+
 RunOutput runSource(const std::string& name, const std::string& source,
                     const Options& opts) {
   RunOutput out;
   out.workload = name;
   out.procs = opts.procs;
 
-  // Plain compile (Table I baseline).
-  {
-    Stopwatch w;
-    auto plain = minic::compileProgram(source);
-    out.plainCompileSeconds = w.seconds();
-    (void)plain;
-  }
-
-  // Compile + CYPRESS static phase.
-  out.module = minic::compileProgram(source);
-  cst::StaticResult sr = cst::analyzeAndInstrument(*out.module);
-  out.cst = std::make_unique<cst::Tree>(std::move(sr.cst));
-  out.compileStats = sr.stats;
+  // Static phase: a precompiled program (the cyptraced CST cache) is
+  // shared as-is — it is immutable during runs; otherwise compile fresh.
+  const std::shared_ptr<const CompiledProgram> prog =
+      opts.precompiled ? opts.precompiled : compileForTracing(source);
+  out.module = prog->module;
+  out.cst = prog->cst;
+  out.compileStats = prog->stats;
+  out.plainCompileSeconds = prog->plainCompileSeconds;
 
   // Optional untraced baseline run.
   if (opts.measureBaseline) {
@@ -72,6 +88,7 @@ RunOutput runSource(const std::string& name, const std::string& source,
     vm::RunOptions baseOpts;
     baseOpts.onStall = opts.onStall;
     baseOpts.threads = opts.threads;
+    baseOpts.cancel = opts.cancel;
     Stopwatch w;
     vm::run(*out.module, engine, none, baseOpts);
     out.baselineWallSeconds = w.seconds();
@@ -83,7 +100,8 @@ RunOutput runSource(const std::string& name, const std::string& source,
   simmpi::Engine engine(cfg);
   out.raw.ranks.resize(static_cast<size_t>(opts.procs));
   if (opts.withJournal)
-    out.journal = std::make_unique<trace::JournalBuilder>(opts.procs);
+    out.journal =
+        std::make_unique<trace::JournalBuilder>(opts.procs, opts.journalSink);
 
   std::vector<std::unique_ptr<trace::RawRecorder>> raws;
   std::vector<std::unique_ptr<trace::TeeObserver>> tees;
@@ -124,6 +142,7 @@ RunOutput runSource(const std::string& name, const std::string& source,
   runOpts.instructionLimitPerRank = 1ull << 34;
   runOpts.onStall = opts.onStall;
   runOpts.threads = opts.threads;
+  runOpts.cancel = opts.cancel;
   Stopwatch w;
   out.runStats = vm::run(*out.module, engine, obs, runOpts);
   out.tracedWallSeconds = w.seconds();

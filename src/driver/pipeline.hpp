@@ -9,6 +9,7 @@
 // binary, so all reported numbers come from one code path.
 #pragma once
 
+#include <atomic>
 #include <memory>
 #include <optional>
 #include <string>
@@ -26,6 +27,25 @@
 #include "vm/runner.hpp"
 
 namespace cypress::driver {
+
+/// The immutable products of the compile + static-analysis phase for
+/// one program: the instrumented module and its CST. Everything here is
+/// read-only during a traced run (the VM takes the module by const
+/// reference, recorders take the tree by const reference), so one
+/// CompiledProgram can be shared by any number of concurrent runs —
+/// this is what the cyptraced CST cache stores, keyed by program hash:
+/// extraction is pure per program, so it is computed once and served to
+/// every subsequent job over the same workload.
+struct CompiledProgram {
+  std::shared_ptr<const ir::Module> module;
+  std::shared_ptr<const cst::Tree> cst;
+  cst::CompileStats stats;
+  double plainCompileSeconds = 0.0;
+};
+
+/// Run the compile + CYPRESS static phase only (no simulated execution).
+std::shared_ptr<const CompiledProgram> compileForTracing(
+    const std::string& source);
 
 struct Options {
   int procs = 8;
@@ -67,6 +87,18 @@ struct Options {
   /// deserialize → re-serialize byte stability, plus decompression
   /// against the raw trace when recorded) and throw on any mismatch.
   bool verifyRoundtrip = false;
+  /// Skip compilation + static analysis and reuse this program instead
+  /// (must have been produced by compileForTracing over the same
+  /// source). The run output shares — not copies — the module and CST.
+  std::shared_ptr<const CompiledProgram> precompiled;
+  /// Cooperative cancellation flag for the traced (and baseline) run,
+  /// forwarded to vm::RunOptions::cancel; see there for semantics.
+  const std::atomic<bool>* cancel = nullptr;
+  /// Optional sink receiving every appended CYJ1 journal chunk (header
+  /// included) as soon as it is written, so a server can stream the
+  /// journal to disk and a crash mid-run leaves a salvageable torn file
+  /// instead of nothing.
+  trace::JournalBuilder::Sink journalSink;
 };
 
 /// Everything produced by one traced run.
@@ -74,10 +106,11 @@ struct RunOutput {
   std::string workload;
   int procs = 0;
 
-  std::unique_ptr<ir::Module> module;
-  /// Heap-allocated so recorders' references stay valid if the RunOutput
-  /// itself is moved.
-  std::unique_ptr<cst::Tree> cst;
+  /// Shared with the Options::precompiled cache entry when one was
+  /// used, freshly compiled otherwise. Heap-allocated either way so
+  /// recorders' references stay valid if the RunOutput itself is moved.
+  std::shared_ptr<const ir::Module> module;
+  std::shared_ptr<const cst::Tree> cst;
   cst::CompileStats compileStats;
   double plainCompileSeconds = 0.0;  // compile without the CYPRESS pass
 

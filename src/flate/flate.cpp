@@ -51,19 +51,43 @@ int distSymbol(int dist) {
   CYP_FAIL("flate: distance below minimum: " << dist);
 }
 
-std::array<uint32_t, 256> makeCrcTable() {
-  std::array<uint32_t, 256> t{};
+constexpr uint32_t kCrcPoly = 0xEDB88320u;
+
+// Slice-by-8 CRC tables: table[0] is the classic bytewise table and
+// table[k][b] is the CRC of byte b followed by k zero bytes, so eight
+// table lookups advance the CRC by eight input bytes at once.
+std::array<std::array<uint32_t, 256>, 8> makeCrcTables() {
+  std::array<std::array<uint32_t, 256>, 8> t{};
   for (uint32_t i = 0; i < 256; ++i) {
     uint32_t c = i;
-    for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-    t[i] = c;
+    for (int k = 0; k < 8; ++k) c = (c & 1) ? kCrcPoly ^ (c >> 1) : c >> 1;
+    t[0][i] = c;
   }
+  for (int k = 1; k < 8; ++k)
+    for (uint32_t i = 0; i < 256; ++i)
+      t[k][i] = t[0][t[k - 1][i] & 0xFF] ^ (t[k - 1][i] >> 8);
   return t;
 }
 
-const std::array<uint32_t, 256>& crcTable() {
-  static const auto table = makeCrcTable();
-  return table;
+const std::array<std::array<uint32_t, 256>, 8>& crcTables() {
+  static const auto tables = makeCrcTables();
+  return tables;
+}
+
+// GF(2) helpers for crc32Combine: a CRC over n zero bytes is a linear
+// map on the 32-bit state, represented as a column matrix.
+uint32_t gf2MatrixTimes(const uint32_t* mat, uint32_t vec) {
+  uint32_t sum = 0;
+  while (vec) {
+    if (vec & 1) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+void gf2MatrixSquare(uint32_t* square, const uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = gf2MatrixTimes(mat, mat[n]);
 }
 
 // Pack code-length tables as 4-bit nibbles (lengths are <= 15).
@@ -263,10 +287,56 @@ void decompressBlockToSlice(uint8_t kind, ByteReader& r, uint8_t* dst,
 }  // namespace
 
 uint32_t crc32(std::span<const uint8_t> data) {
-  const auto& t = crcTable();
+  const auto& t = crcTables();
   uint32_t c = 0xFFFFFFFFu;
-  for (uint8_t b : data) c = t[(c ^ b) & 0xFF] ^ (c >> 8);
+  const uint8_t* p = data.data();
+  size_t n = data.size();
+  while (n >= 8) {
+    // Fold two little-endian 32-bit words through the eight tables.
+    const uint32_t lo = c ^ (static_cast<uint32_t>(p[0]) |
+                             static_cast<uint32_t>(p[1]) << 8 |
+                             static_cast<uint32_t>(p[2]) << 16 |
+                             static_cast<uint32_t>(p[3]) << 24);
+    const uint32_t hi = static_cast<uint32_t>(p[4]) |
+                        static_cast<uint32_t>(p[5]) << 8 |
+                        static_cast<uint32_t>(p[6]) << 16 |
+                        static_cast<uint32_t>(p[7]) << 24;
+    c = t[7][lo & 0xFF] ^ t[6][(lo >> 8) & 0xFF] ^ t[5][(lo >> 16) & 0xFF] ^
+        t[4][lo >> 24] ^ t[3][hi & 0xFF] ^ t[2][(hi >> 8) & 0xFF] ^
+        t[1][(hi >> 16) & 0xFF] ^ t[0][hi >> 24];
+    p += 8;
+    n -= 8;
+  }
+  for (; n; --n, ++p) c = t[0][(c ^ *p) & 0xFF] ^ (c >> 8);
   return c ^ 0xFFFFFFFFu;
+}
+
+uint32_t crc32Combine(uint32_t crc1, uint32_t crc2, uint64_t len2) {
+  if (len2 == 0) return crc1;
+  // odd holds the operator "advance the CRC register past one zero
+  // byte"; repeated squaring yields the operator for 2^k zero bytes, and
+  // applying the operators selected by len2's bits shifts crc1 past all
+  // of B's length. XORing crc2 then splices B's contribution in.
+  uint32_t even[32];
+  uint32_t odd[32];
+  odd[0] = kCrcPoly;
+  uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  gf2MatrixSquare(even, odd);  // 2 zero bytes
+  gf2MatrixSquare(odd, even);  // 4 zero bytes
+  do {
+    gf2MatrixSquare(even, odd);
+    if (len2 & 1) crc1 = gf2MatrixTimes(even, crc1);
+    len2 >>= 1;
+    if (len2 == 0) break;
+    gf2MatrixSquare(odd, even);
+    if (len2 & 1) crc1 = gf2MatrixTimes(odd, crc1);
+    len2 >>= 1;
+  } while (len2 != 0);
+  return crc1 ^ crc2;
 }
 
 std::vector<uint8_t> compress(std::span<const uint8_t> data, Level level,
@@ -274,13 +344,16 @@ std::vector<uint8_t> compress(std::span<const uint8_t> data, Level level,
   ByteWriter w;
   w.raw(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(kMagic), 4));
   w.uv(data.size());
-  w.u32fixed(crc32(data));
 
-  if (data.empty()) return w.take();
+  if (data.empty()) {
+    w.u32fixed(crc32(data));
+    return w.take();
+  }
 
   const MatchParams mp = MatchParams::forChain(static_cast<int>(level));
   if (data.size() <= kShardBytes) {
     // Legacy single-block container, byte-for-byte the historical format.
+    w.u32fixed(crc32(data));
     w.raw(compressBlock(data, mp));
     return w.take();
   }
@@ -288,14 +361,26 @@ std::vector<uint8_t> compress(std::span<const uint8_t> data, Level level,
   // Framed multi-block container: fixed-size shards, each compressed
   // with a fresh LZ77 window, so the shards are independent tasks and
   // the output is a pure function of the input — `threads` only decides
-  // how many compress concurrently.
+  // how many compress concurrently. Each task also CRCs its own shard;
+  // the whole-input CRC in the header is the crc32Combine fold of the
+  // per-shard values, bit-identical to one serial pass but without a
+  // second full scan of the input on the hot path.
   const size_t nShards = (data.size() + kShardBytes - 1) / kShardBytes;
   std::vector<std::vector<uint8_t>> blocks(nShards);
+  std::vector<uint32_t> shardCrcs(nShards);
   parallelFor(nShards, threads, [&](size_t i) {
     const size_t lo = i * kShardBytes;
     const size_t hi = std::min(lo + kShardBytes, data.size());
     blocks[i] = compressBlock(data.subspan(lo, hi - lo), mp);
+    shardCrcs[i] = crc32(data.subspan(lo, hi - lo));
   });
+  uint32_t crc = shardCrcs[0];
+  for (size_t i = 1; i < nShards; ++i) {
+    const size_t lo = i * kShardBytes;
+    const size_t hi = std::min(lo + kShardBytes, data.size());
+    crc = crc32Combine(crc, shardCrcs[i], hi - lo);
+  }
+  w.u32fixed(crc);
   w.u8(kBlockFramed);
   w.uv(nShards);
   for (const auto& b : blocks) {

@@ -1,0 +1,69 @@
+#include "service/cache.hpp"
+
+namespace cypress::service {
+
+uint64_t hashSource(const std::string& source) {
+  uint64_t h = 1469598103934665603ull;  // FNV offset basis
+  for (unsigned char c : source) {
+    h ^= c;
+    h *= 1099511628211ull;  // FNV prime
+  }
+  return h;
+}
+
+std::shared_ptr<const driver::CompiledProgram> ProgramCache::get(
+    const std::string& source) {
+  const uint64_t key = hashSource(source);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = index_.find(key);
+    if (it != index_.end() && it->second->second.source == source) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return it->second->second.program;
+    }
+    ++misses_;
+  }
+
+  // Compile outside the lock; holding it across a compile would
+  // serialize every cache miss behind the slowest program.
+  auto program = driver::compileForTracing(source);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end() && it->second->second.source == source) {
+    // A racing miss published first; use its copy for coherence.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->second.program;
+  }
+  if (it != index_.end()) {
+    // Hash collision with a different source: evict the old entry
+    // rather than shadowing it.
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.emplace_front(key, Entry{source, program});
+  index_[key] = lru_.begin();
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  return program;
+}
+
+uint64_t ProgramCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+uint64_t ProgramCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t ProgramCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+}  // namespace cypress::service

@@ -1,0 +1,62 @@
+// CST / static-analysis cache for the job server.
+//
+// Compiling a MiniC program and running the CYPRESS static phase
+// produces an ir::Module + cst::Tree pair that is immutable during
+// tracing (CttRecorder takes `const cst::Tree&`, vm::run takes
+// `const ir::Module&`). Repeated jobs over the same program — retries,
+// parameter sweeps, many clients tracing one benchmark — can therefore
+// share a single compiled program. The cache keys on a hash of the
+// source text and hands out shared_ptr<const CompiledProgram>, so an
+// entry evicted mid-job stays alive until its last job drops it.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "driver/pipeline.hpp"
+
+namespace cypress::service {
+
+/// FNV-1a 64-bit over the source text: cheap, deterministic, and good
+/// enough for a cache key (a collision costs correctness nothing worse
+/// than the wrong program — so the cache stores the full source and
+/// compares it on lookup).
+uint64_t hashSource(const std::string& source);
+
+/// Thread-safe LRU cache of compiled programs, capacity-bounded by
+/// entry count (compiled programs for the simulated workloads are
+/// small; count is the honest unit).
+class ProgramCache {
+ public:
+  explicit ProgramCache(size_t capacity = 16) : capacity_(capacity) {}
+
+  /// Return the compiled program for `source`, compiling it on a miss.
+  /// Compilation runs outside the lock so concurrent jobs for different
+  /// programs do not serialize; two racing misses for the same source
+  /// both compile, and the first to publish wins.
+  std::shared_ptr<const driver::CompiledProgram> get(const std::string& source);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    std::string source;  // full text, compared to defeat hash collisions
+    std::shared_ptr<const driver::CompiledProgram> program;
+  };
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  std::list<std::pair<uint64_t, Entry>> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<std::pair<uint64_t, Entry>>::iterator>
+      index_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+}  // namespace cypress::service

@@ -1,0 +1,132 @@
+#include "service/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/error.hpp"
+
+namespace cypress::service {
+
+namespace {
+
+void writeAll(int fd, std::span<const uint8_t> bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a daemon dying under us (the kill-matrix scenario)
+    // must surface as a cypress::Error, not a SIGPIPE.
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    CYP_CHECK(n > 0, "client: write failed: " << std::strerror(errno));
+    off += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+Client::Client(const std::string& socketPath) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  CYP_CHECK(socketPath.size() < sizeof(addr.sun_path),
+            "socket path too long: " << socketPath);
+  std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  CYP_CHECK(fd_ >= 0, "socket(): " << std::strerror(errno));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    CYP_FAIL("cannot connect to " << socketPath << ": " << std::strerror(err)
+                                  << " (is cyptraced running?)");
+  }
+
+  Request hello;
+  hello.type = RequestType::Hello;
+  hello.helloVersion = kProtocolVersion;
+  const Response resp = call(hello);
+  CYP_CHECK(resp.code == ResponseCode::HelloOk,
+            "handshake failed: " << resp.message);
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Response Client::call(const Request& req) {
+  writeAll(fd_, encodeFrame(req.encode()));
+  uint8_t buf[4096];
+  while (true) {
+    if (auto payload = decoder_.next()) return Response::decode(*payload);
+    const ssize_t n = ::read(fd_, buf, sizeof(buf));
+    if (n < 0 && errno == EINTR) continue;
+    CYP_CHECK(n > 0, "client: server closed the connection mid-response");
+    decoder_.feed(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+  }
+}
+
+Response Client::submit(const JobSpec& spec) {
+  Request req;
+  req.type = RequestType::Submit;
+  req.spec = spec;
+  return call(req);
+}
+
+std::optional<JobStatus> Client::status(uint64_t jobId) {
+  Request req;
+  req.type = RequestType::Status;
+  req.jobId = jobId;
+  const Response resp = call(req);
+  if (resp.code != ResponseCode::Status) return std::nullopt;
+  return resp.status;
+}
+
+std::optional<JobStatus> Client::wait(uint64_t jobId, uint64_t timeoutMs) {
+  Request req;
+  req.type = RequestType::Wait;
+  req.jobId = jobId;
+  req.timeoutMs = timeoutMs;
+  const Response resp = call(req);
+  if (resp.code != ResponseCode::Status) return std::nullopt;
+  return resp.status;
+}
+
+std::optional<JobStatus> Client::cancel(uint64_t jobId) {
+  Request req;
+  req.type = RequestType::Cancel;
+  req.jobId = jobId;
+  const Response resp = call(req);
+  if (resp.code != ResponseCode::Status) return std::nullopt;
+  return resp.status;
+}
+
+std::vector<JobStatus> Client::list() {
+  Request req;
+  req.type = RequestType::List;
+  const Response resp = call(req);
+  CYP_CHECK(resp.code == ResponseCode::JobList,
+            "list failed: " << resp.message);
+  return resp.jobs;
+}
+
+Counters Client::counters() {
+  Request req;
+  req.type = RequestType::Counters;
+  const Response resp = call(req);
+  CYP_CHECK(resp.code == ResponseCode::Counters,
+            "counters failed: " << resp.message);
+  return resp.counters;
+}
+
+void Client::shutdown() {
+  Request req;
+  req.type = RequestType::Shutdown;
+  const Response resp = call(req);
+  CYP_CHECK(resp.code == ResponseCode::ShuttingDown,
+            "shutdown failed: " << resp.message);
+}
+
+}  // namespace cypress::service

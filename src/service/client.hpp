@@ -1,0 +1,46 @@
+// Blocking client for the cyptraced socket protocol.
+//
+// Connects, performs the Hello version handshake, then issues one
+// request / one response at a time. Used by the `cyptraced` CLI
+// subcommands and the integration tests; anything speaking to a daemon
+// from C++ should go through this rather than hand-rolling frames.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "service/protocol.hpp"
+
+namespace cypress::service {
+
+class Client {
+ public:
+  /// Connects to the daemon at `socketPath` and completes the Hello
+  /// handshake. Throws cypress::Error on connection refusal or a
+  /// protocol version mismatch.
+  explicit Client(const std::string& socketPath);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// One request, one response. Throws cypress::Error on transport
+  /// failure or a malformed response frame.
+  Response call(const Request& req);
+
+  // Convenience wrappers.
+  Response submit(const JobSpec& spec);
+  std::optional<JobStatus> status(uint64_t jobId);
+  std::optional<JobStatus> wait(uint64_t jobId, uint64_t timeoutMs);
+  std::optional<JobStatus> cancel(uint64_t jobId);
+  std::vector<JobStatus> list();
+  Counters counters();
+  void shutdown();
+
+ private:
+  int fd_ = -1;
+  FrameDecoder decoder_;
+};
+
+}  // namespace cypress::service

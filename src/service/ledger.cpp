@@ -1,0 +1,227 @@
+#include "service/ledger.hpp"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "flate/flate.hpp"
+#include "support/error.hpp"
+
+namespace cypress::service {
+
+namespace {
+
+constexpr uint8_t kSubmitSegment = 0;
+constexpr uint8_t kStateSegment = 1;
+constexpr uint64_t kLedgerVersion = 1;
+
+std::string checkedStr(ByteReader& r) {
+  const uint64_t n = r.checkedCount(r.uv(), 1);
+  return std::string(reinterpret_cast<const char*>(r.raw(n).data()), n);
+}
+
+JobState checkedState(uint8_t v) {
+  CYP_CHECK(v <= static_cast<uint8_t>(JobState::Cancelled),
+            "ledger: unknown job state " << int(v));
+  return static_cast<JobState>(v);
+}
+
+}  // namespace
+
+LedgerWriter::LedgerWriter(const std::string& path, bool resume) {
+  bool fresh = true;
+  {
+    std::error_code ec;
+    const auto size = std::filesystem::file_size(path, ec);
+    if (!ec && size > 0) fresh = false;
+  }
+  CYP_CHECK(fresh || resume,
+            "ledger: " << path << " already exists; run with --recover to "
+                       << "salvage it or remove it to start fresh");
+  f_ = std::fopen(path.c_str(), "ab");
+  CYP_CHECK(f_ != nullptr, "ledger: cannot open " << path << " for append");
+  if (fresh) {
+    ByteWriter h;
+    h.str("CYL1");
+    h.uv(kLedgerVersion);
+    std::fwrite(h.bytes().data(), 1, h.bytes().size(), f_);
+    std::fflush(f_);
+  }
+}
+
+LedgerWriter::~LedgerWriter() {
+  if (f_) std::fclose(f_);
+}
+
+void LedgerWriter::segment(uint8_t kind, const ByteWriter& payload) {
+  ByteWriter w;
+  w.u8(kind);
+  w.uv(payload.size());
+  w.u32fixed(flate::crc32(payload.bytes()));
+  w.raw(payload.bytes());
+  // One fwrite + fflush per segment: a kill between appends tears the
+  // file at a segment boundary; a kill mid-write tears one segment.
+  // Either way recovery salvages everything before it.
+  std::fwrite(w.bytes().data(), 1, w.bytes().size(), f_);
+  std::fflush(f_);
+  ++segments_;
+}
+
+void LedgerWriter::appendSubmit(uint64_t jobId, uint64_t clientId,
+                                const JobSpec& spec) {
+  ByteWriter p;
+  p.uv(jobId);
+  p.uv(clientId);
+  spec.serialize(p);
+  segment(kSubmitSegment, p);
+}
+
+void LedgerWriter::appendState(uint64_t jobId, JobState state, uint32_t attempt,
+                               const std::string& detail,
+                               const std::string& artifactPath,
+                               const std::string& journalPath) {
+  ByteWriter p;
+  p.uv(jobId);
+  p.u8(static_cast<uint8_t>(state));
+  p.uv(attempt);
+  p.str(detail);
+  p.str(artifactPath);
+  p.str(journalPath);
+  segment(kStateSegment, p);
+}
+
+std::vector<uint64_t> LedgerRecovery::nonTerminal() const {
+  std::vector<uint64_t> out;
+  for (const LedgerJob& j : jobs)
+    if (!isTerminal(j.state)) out.push_back(j.id);
+  return out;
+}
+
+namespace {
+
+LedgerRecovery readLedger(std::span<const uint8_t> data, bool strict) {
+  ByteReader r(data);
+  CYP_CHECK(r.str() == "CYL1", "ledger: bad magic");
+  const uint64_t version = r.uv();
+  CYP_CHECK(version == kLedgerVersion,
+            "ledger: unsupported version " << version);
+
+  LedgerRecovery out;
+  // id → index in out.jobs; the job count is bounded by the segment
+  // count, which is bounded by the input size.
+  auto find = [&](uint64_t id) -> LedgerJob* {
+    for (LedgerJob& j : out.jobs)
+      if (j.id == id) return &j;
+    return nullptr;
+  };
+
+  while (!r.atEnd()) {
+    const size_t segStart = r.pos();
+    try {
+      const uint8_t kind = r.u8();
+      CYP_CHECK(kind <= kStateSegment,
+                "ledger: unknown segment kind " << int(kind));
+      const uint64_t len = r.uv();
+      const uint32_t crc = r.u32fixed();
+      std::span<const uint8_t> payload = r.raw(len);
+      CYP_CHECK(flate::crc32(payload) == crc, "ledger: segment CRC mismatch");
+
+      // Parse fully into locals before committing, so a half-valid
+      // segment mutates nothing.
+      ByteReader p(payload);
+      if (kind == kSubmitSegment) {
+        LedgerJob j;
+        j.id = p.uv();
+        j.clientId = p.uv();
+        j.spec = JobSpec::deserialize(p);
+        CYP_CHECK(p.atEnd(), "ledger: trailing bytes in submit segment");
+        CYP_CHECK(find(j.id) == nullptr,
+                  "ledger: job " << j.id << " submitted twice");
+        out.maxJobId = std::max(out.maxJobId, j.id);
+        out.jobs.push_back(std::move(j));
+      } else {
+        const uint64_t id = p.uv();
+        const JobState state = checkedState(p.u8());
+        const uint32_t attempt = static_cast<uint32_t>(p.uv());
+        const std::string detail = checkedStr(p);
+        const std::string artifactPath = checkedStr(p);
+        const std::string journalPath = checkedStr(p);
+        CYP_CHECK(p.atEnd(), "ledger: trailing bytes in state segment");
+        LedgerJob* j = find(id);
+        CYP_CHECK(j != nullptr,
+                  "ledger: state transition for unknown job " << id);
+        CYP_CHECK(!isTerminal(j->state),
+                  "ledger: transition after terminal state for job " << id);
+        j->state = state;
+        j->attempt = attempt;
+        j->detail = detail;
+        if (!artifactPath.empty()) j->artifactPath = artifactPath;
+        if (!journalPath.empty()) j->journalPath = journalPath;
+      }
+      ++out.segmentsRecovered;
+    } catch (const Error&) {
+      if (strict) throw;
+      out.bytesDiscarded = data.size() - segStart;
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+LedgerRecovery recoverLedger(std::span<const uint8_t> data) {
+  return readLedger(data, /*strict=*/false);
+}
+
+LedgerRecovery parseLedger(std::span<const uint8_t> data) {
+  return readLedger(data, /*strict=*/true);
+}
+
+LedgerRecovery recoverLedgerFile(const std::string& path) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec) || ec) return LedgerRecovery{};
+
+  std::vector<uint8_t> bytes;
+  {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    CYP_CHECK(f != nullptr, "ledger: cannot open " << path);
+    std::fseek(f, 0, SEEK_END);
+    const long size = std::ftell(f);
+    std::fseek(f, 0, SEEK_SET);
+    bytes.resize(size > 0 ? static_cast<size_t>(size) : 0);
+    if (!bytes.empty()) {
+      const size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
+      bytes.resize(got);
+    }
+    std::fclose(f);
+  }
+  if (bytes.empty()) return LedgerRecovery{};
+
+  // A kill can land mid-write of the header itself. A strict prefix of
+  // the canonical header is a torn fresh ledger — truncate to empty and
+  // start over. Anything else that fails the header check is a foreign
+  // file, and recoverLedger below refuses it rather than clobbering it.
+  ByteWriter canonical;
+  canonical.str("CYL1");
+  canonical.uv(kLedgerVersion);
+  const auto header = canonical.bytes();
+  if (bytes.size() < header.size() &&
+      std::equal(bytes.begin(), bytes.end(), header.begin())) {
+    std::filesystem::resize_file(path, 0, ec);
+    CYP_CHECK(!ec, "ledger: cannot truncate torn header in " << path);
+    LedgerRecovery rec;
+    rec.bytesDiscarded = bytes.size();
+    return rec;
+  }
+
+  LedgerRecovery rec = recoverLedger(bytes);
+  if (rec.bytesDiscarded > 0) {
+    // Truncate the torn tail so a resumed LedgerWriter appends at the
+    // segment boundary instead of behind garbage.
+    std::filesystem::resize_file(path, bytes.size() - rec.bytesDiscarded, ec);
+    CYP_CHECK(!ec, "ledger: cannot truncate " << path << " to its valid prefix");
+  }
+  return rec;
+}
+
+}  // namespace cypress::service

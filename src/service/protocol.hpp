@@ -1,0 +1,180 @@
+// cyptraced wire protocol: length-prefixed, CRC-framed request/response
+// messages over a local stream socket.
+//
+// Every frame on the wire is:
+//
+//   u32 magic "CYS1" | u32 payloadLen | u32 crc32(payload) | payload
+//
+// with payloadLen capped at kMaxFramePayload. The frame layer promises
+// exactly what the trace containers promise: a receiver confronted with
+// arbitrary bytes — truncation at any byte, flipped CRC, an absurd
+// length prefix — either produces a complete validated payload or
+// raises cypress::Error; it never crashes, hangs, or allocates
+// unboundedly. Payloads are ByteWriter/ByteReader messages validated
+// with the same discipline as the on-disk formats.
+//
+// A connection starts with a Hello exchange (protocol version check);
+// every subsequent request gets exactly one response frame. See
+// docs/SERVICE.md for the full message catalogue and the job state
+// machine the responses expose.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/bytebuf.hpp"
+
+namespace cypress::service {
+
+constexpr uint32_t kProtocolVersion = 1;
+/// Largest frame payload a peer may send (1 MiB): large enough for a
+/// MiniC source or a long job list, small enough that a hostile length
+/// prefix cannot balloon memory.
+constexpr size_t kMaxFramePayload = 1u << 20;
+
+/// Wrap a payload in the CYS1 frame header.
+std::vector<uint8_t> encodeFrame(std::span<const uint8_t> payload);
+
+/// Incremental frame parser for one connection. Feed bytes as they
+/// arrive; next() yields complete validated payloads in order, returns
+/// nullopt when more bytes are needed, and throws cypress::Error on any
+/// malformed frame (bad magic, oversized length, CRC mismatch) — after
+/// which the connection must be closed (framing cannot resynchronize).
+class FrameDecoder {
+ public:
+  void feed(std::span<const uint8_t> bytes);
+  std::optional<std::vector<uint8_t>> next();
+  size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<uint8_t> buf_;
+  size_t pos_ = 0;  // consumed prefix, compacted lazily
+};
+
+/// What a job does. Run traces a workload/source through the CYPRESS
+/// pipeline; the others wrap one CLI operation each so scripts can farm
+/// them out to the daemon.
+enum class JobKind : uint8_t { Run = 0, Compress = 1, Verify = 2, Recover = 3 };
+
+/// Job lifecycle: ACCEPTED → RUNNING → {DONE, FAILED, CANCELLED}, with
+/// RUNNING → ACCEPTED on a retryable failure (attempt counter bumped,
+/// re-queued after backoff). Done/Failed/Cancelled are terminal.
+enum class JobState : uint8_t {
+  Accepted = 0,
+  Running = 1,
+  Done = 2,
+  Failed = 3,
+  Cancelled = 4,
+};
+
+bool isTerminal(JobState s);
+const char* toString(JobKind k);
+const char* toString(JobState s);
+
+/// A client's description of one job.
+struct JobSpec {
+  JobKind kind = JobKind::Run;
+  /// Run: workload name (or display name when sourceText is set).
+  /// Compress/Verify/Recover: path of the input file.
+  std::string target;
+  /// Run only: MiniC source to trace instead of a named workload.
+  std::string sourceText;
+  uint32_t procs = 8;
+  uint32_t scale = 1;
+  /// Run only: deterministic fault specs (kill:R@N, abort:R@N, drop:R@N,
+  /// delay:R@N:NS), the PR 2 fault-injection grammar.
+  std::vector<std::string> faultSpecs;
+  /// Treat the faults as transient infrastructure failures: they are
+  /// injected on the first attempt only, so a retry can succeed — the
+  /// scenario the retry/backoff machinery exists for. Without this the
+  /// plan is deterministic and every attempt fails identically.
+  bool faultsTransient = false;
+  uint64_t deadlineMs = 0;   ///< per-attempt wall deadline; 0 = server default
+  uint32_t maxAttempts = 0;  ///< attempt budget; 0 = server default
+
+  void serialize(ByteWriter& w) const;
+  static JobSpec deserialize(ByteReader& r);
+};
+
+/// A server-side snapshot of one job.
+struct JobStatus {
+  uint64_t id = 0;
+  JobState state = JobState::Accepted;
+  uint32_t attempts = 0;  ///< attempts started so far
+  std::string detail;     ///< last diagnostic / outcome summary
+  std::string artifactPath;
+  std::string journalPath;
+  uint64_t artifactBytes = 0;
+
+  void serialize(ByteWriter& w) const;
+  static JobStatus deserialize(ByteReader& r);
+};
+
+/// Monotonic server counters (admission, outcomes, cache effectiveness).
+struct Counters {
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t rejectedBusy = 0;       ///< queue-full rejections
+  uint64_t rejectedClientCap = 0;  ///< per-client in-flight cap rejections
+  uint64_t done = 0;
+  uint64_t failed = 0;
+  uint64_t cancelled = 0;
+  uint64_t retries = 0;
+  uint64_t cacheHits = 0;
+  uint64_t cacheMisses = 0;
+
+  void serialize(ByteWriter& w) const;
+  static Counters deserialize(ByteReader& r);
+};
+
+enum class RequestType : uint8_t {
+  Hello = 0,
+  Submit = 1,
+  Status = 2,
+  Wait = 3,
+  Cancel = 4,
+  List = 5,
+  Counters = 6,
+  Shutdown = 7,
+};
+
+struct Request {
+  RequestType type = RequestType::Hello;
+  uint32_t helloVersion = kProtocolVersion;  // Hello
+  JobSpec spec;                              // Submit
+  uint64_t jobId = 0;                        // Status/Wait/Cancel
+  uint64_t timeoutMs = 0;                    // Wait (0 = no wait, poll)
+
+  std::vector<uint8_t> encode() const;
+  static Request decode(std::span<const uint8_t> payload);
+};
+
+enum class ResponseCode : uint8_t {
+  HelloOk = 0,
+  Accepted = 1,      ///< job admitted; jobId set
+  RejectedBusy = 2,  ///< admission control refused; message explains
+  Status = 3,        ///< status carries the job snapshot
+  NotFound = 4,
+  JobList = 5,
+  Counters = 6,
+  ShuttingDown = 7,
+  Error = 8,  ///< protocol/semantic error; message set, connection closes
+};
+
+struct Response {
+  ResponseCode code = ResponseCode::Error;
+  uint32_t helloVersion = kProtocolVersion;  // HelloOk
+  uint64_t jobId = 0;                        // Accepted
+  std::string message;                       // RejectedBusy/Error
+  JobStatus status;                          // Status
+  std::vector<JobStatus> jobs;               // JobList
+  struct Counters counters;                  // Counters
+
+  std::vector<uint8_t> encode() const;
+  static Response decode(std::span<const uint8_t> payload);
+};
+
+}  // namespace cypress::service

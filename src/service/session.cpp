@@ -1,0 +1,118 @@
+#include "service/session.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace cypress::service {
+
+std::vector<uint8_t> Session::consume(std::span<const uint8_t> bytes) {
+  std::vector<uint8_t> out;
+  if (closed_) return out;
+  try {
+    decoder_.feed(bytes);
+    while (auto payload = decoder_.next()) {
+      const Request req = Request::decode(*payload);
+      const Response resp = handle(req);
+      const auto frame = encodeFrame(resp.encode());
+      out.insert(out.end(), frame.begin(), frame.end());
+      if (closed_) break;
+    }
+  } catch (const Error& e) {
+    // Malformed frame or message: answer once, then drop the
+    // connection — the byte stream cannot be trusted past this point.
+    Response resp;
+    resp.code = ResponseCode::Error;
+    resp.message = e.what();
+    const auto frame = encodeFrame(resp.encode());
+    out.insert(out.end(), frame.begin(), frame.end());
+    closed_ = true;
+  }
+  return out;
+}
+
+Response Session::handle(const Request& req) {
+  Response resp;
+  if (req.type == RequestType::Hello) {
+    if (req.helloVersion != kProtocolVersion) {
+      resp.code = ResponseCode::Error;
+      resp.message = "protocol version " + std::to_string(req.helloVersion) +
+                     " unsupported (server speaks " +
+                     std::to_string(kProtocolVersion) + ")";
+      closed_ = true;
+      return resp;
+    }
+    helloDone_ = true;
+    resp.code = ResponseCode::HelloOk;
+    resp.helloVersion = kProtocolVersion;
+    return resp;
+  }
+  if (!helloDone_) {
+    resp.code = ResponseCode::Error;
+    resp.message = "hello required before any other request";
+    closed_ = true;
+    return resp;
+  }
+
+  switch (req.type) {
+    case RequestType::Submit: {
+      const JobServer::SubmitResult r = server_.submit(req.spec, clientId_);
+      if (r.accepted) {
+        resp.code = ResponseCode::Accepted;
+        resp.jobId = r.jobId;
+      } else {
+        resp.code = ResponseCode::RejectedBusy;
+        resp.message = r.message;
+      }
+      return resp;
+    }
+    case RequestType::Status: {
+      auto s = server_.status(req.jobId);
+      if (!s) { resp.code = ResponseCode::NotFound; return resp; }
+      resp.code = ResponseCode::Status;
+      resp.status = *s;
+      return resp;
+    }
+    case RequestType::Wait: {
+      auto s = server_.wait(req.jobId, std::min(req.timeoutMs, kMaxWaitMs));
+      if (!s) { resp.code = ResponseCode::NotFound; return resp; }
+      resp.code = ResponseCode::Status;
+      resp.status = *s;
+      return resp;
+    }
+    case RequestType::Cancel: {
+      if (!server_.cancel(req.jobId)) {
+        auto s = server_.status(req.jobId);
+        if (!s) { resp.code = ResponseCode::NotFound; return resp; }
+        resp.code = ResponseCode::Status;  // already terminal: report it
+        resp.status = *s;
+        return resp;
+      }
+      auto s = server_.status(req.jobId);
+      resp.code = ResponseCode::Status;
+      if (s) resp.status = *s;
+      return resp;
+    }
+    case RequestType::List:
+      resp.code = ResponseCode::JobList;
+      resp.jobs = server_.list();
+      return resp;
+    case RequestType::Counters:
+      resp.code = ResponseCode::Counters;
+      resp.counters = server_.counters();
+      return resp;
+    case RequestType::Shutdown:
+      resp.code = ResponseCode::ShuttingDown;
+      shutdownRequested_ = true;
+      closed_ = true;
+      return resp;
+    case RequestType::Hello:
+      break;  // handled above
+  }
+  resp.code = ResponseCode::Error;
+  resp.message = "unhandled request";
+  closed_ = true;
+  return resp;
+}
+
+}  // namespace cypress::service

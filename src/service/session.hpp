@@ -1,0 +1,55 @@
+// One client connection's protocol state machine, socket-free.
+//
+// A Session consumes raw wire bytes and produces raw response bytes;
+// the transport (service/socket.hpp, or a test harness, or the fuzzer)
+// just pumps. Keeping the state machine byte-in/byte-out makes the
+// framing and dispatch logic fuzzable in-process and deterministic:
+// the protocol fuzzer drives Sessions directly with truncated and
+// corrupted streams and asserts clean error responses, never touching
+// a real socket.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+
+namespace cypress::service {
+
+class Session {
+ public:
+  Session(JobServer& server, uint64_t clientId)
+      : server_(server), clientId_(clientId) {}
+
+  /// Feed bytes as they arrive; returns the response bytes to send.
+  /// Never throws: a malformed frame or message yields one framed Error
+  /// response and closes the session (framing cannot resynchronize
+  /// after corruption, so the connection must drop).
+  std::vector<uint8_t> consume(std::span<const uint8_t> bytes);
+
+  /// True once the session must be torn down (protocol error, version
+  /// mismatch, or an acknowledged Shutdown).
+  bool closed() const { return closed_; }
+
+  /// True once the client asked the daemon to shut down (the session
+  /// answers ShuttingDown first, then this turns on).
+  bool shutdownRequested() const { return shutdownRequested_; }
+
+  /// Bound on Wait blocking, so a hostile Wait cannot pin a connection
+  /// thread forever.
+  static constexpr uint64_t kMaxWaitMs = 300'000;
+
+ private:
+  Response handle(const Request& req);
+
+  JobServer& server_;
+  FrameDecoder decoder_;
+  uint64_t clientId_;
+  bool helloDone_ = false;
+  bool closed_ = false;
+  bool shutdownRequested_ = false;
+};
+
+}  // namespace cypress::service

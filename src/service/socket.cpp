@@ -1,0 +1,129 @@
+#include "service/socket.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "service/session.hpp"
+#include "support/error.hpp"
+
+namespace cypress::service {
+
+namespace {
+
+constexpr int kPollMs = 100;
+
+bool writeAll(int fd, std::span<const uint8_t> bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    // MSG_NOSIGNAL: a client vanishing mid-response must surface as
+    // EPIPE (drop the connection), not SIGPIPE (kill the daemon).
+    const ssize_t n =
+        ::send(fd, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(JobServer& server, std::string path)
+    : server_(server), path_(std::move(path)) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  CYP_CHECK(path_.size() < sizeof(addr.sun_path),
+            "socket path too long: " << path_);
+  std::memcpy(addr.sun_path, path_.c_str(), path_.size() + 1);
+
+  listenFd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  CYP_CHECK(listenFd_ >= 0, "socket(): " << std::strerror(errno));
+  ::unlink(path_.c_str());
+  if (::bind(listenFd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listenFd_);
+    listenFd_ = -1;
+    CYP_FAIL("bind(" << path_ << "): " << std::strerror(err));
+  }
+  if (::listen(listenFd_, 16) != 0) {
+    const int err = errno;
+    ::close(listenFd_);
+    listenFd_ = -1;
+    CYP_FAIL("listen(" << path_ << "): " << std::strerror(err));
+  }
+}
+
+SocketServer::~SocketServer() {
+  stop();
+  if (listenFd_ >= 0) ::close(listenFd_);
+  ::unlink(path_.c_str());
+}
+
+void SocketServer::start() {
+  acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+void SocketServer::waitShutdown() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] {
+    return stopping_.load() || shutdownRequested_.load();
+  });
+}
+
+void SocketServer::stop() {
+  stopping_.store(true);
+  cv_.notify_all();
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.swap(connections_);
+  }
+  for (std::thread& t : conns)
+    if (t.joinable()) t.join();
+}
+
+void SocketServer::acceptLoop() {
+  while (!stopping_.load()) {
+    pollfd pfd{listenFd_, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, kPollMs);
+    if (r <= 0) continue;  // timeout or EINTR: re-check stopping_
+    const int fd = ::accept(listenFd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint64_t clientId = ++nextClientId_;
+    connections_.emplace_back(
+        [this, fd, clientId] { connectionLoop(fd, clientId); });
+  }
+}
+
+void SocketServer::connectionLoop(int fd, uint64_t clientId) {
+  Session session(server_, clientId);
+  uint8_t buf[4096];
+  while (!stopping_.load()) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int r = ::poll(&pfd, 1, kPollMs);
+    if (r < 0 && errno != EINTR) break;
+    if (r <= 0) continue;
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n <= 0) break;  // peer closed (or error): drop the connection
+    const auto out =
+        session.consume(std::span<const uint8_t>(buf, static_cast<size_t>(n)));
+    if (!out.empty() && !writeAll(fd, out)) break;
+    if (session.shutdownRequested()) {
+      shutdownRequested_.store(true);
+      cv_.notify_all();
+    }
+    if (session.closed()) break;
+  }
+  ::close(fd);
+}
+
+}  // namespace cypress::service

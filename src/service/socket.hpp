@@ -1,0 +1,64 @@
+// Unix-domain stream transport for the job server.
+//
+// One listener thread accepts connections; each connection gets a
+// thread that pumps bytes through a Session (service/session.hpp).
+// All protocol logic lives in the Session — this file only moves bytes
+// and manages lifetimes, so the transport layer has nothing to fuzz.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/server.hpp"
+
+namespace cypress::service {
+
+class SocketServer {
+ public:
+  /// Binds and listens on `path` (an existing socket file is replaced).
+  /// Throws cypress::Error when the address cannot be bound.
+  SocketServer(JobServer& server, std::string path);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Start the accept loop (returns immediately).
+  void start();
+
+  /// Block until a client sends Shutdown or stop() is called.
+  void waitShutdown();
+
+  /// True once a client's Shutdown request was acknowledged. Lets a
+  /// caller that must also watch process signals poll instead of
+  /// blocking in waitShutdown() (condition waits ignore signals).
+  bool shutdownSeen() const { return shutdownRequested_.load(); }
+
+  /// Stop accepting, close every connection, join all threads.
+  void stop();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  void acceptLoop();
+  void connectionLoop(int fd, uint64_t clientId);
+
+  JobServer& server_;
+  std::string path_;
+  int listenFd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> shutdownRequested_{false};
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::thread acceptor_;
+  std::vector<std::thread> connections_;
+  uint64_t nextClientId_ = 0;
+};
+
+}  // namespace cypress::service

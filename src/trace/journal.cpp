@@ -19,18 +19,28 @@ constexpr uint64_t kMaxJournalRanks = RankSet::kMaxSerializedRanks;
 
 }  // namespace
 
-JournalBuilder::JournalBuilder(int numRanks) : numRanks_(numRanks) {
+JournalBuilder::JournalBuilder(int numRanks, Sink sink)
+    : sink_(std::move(sink)), numRanks_(numRanks) {
   CYP_CHECK(numRanks >= 1, "journal needs at least one rank");
   w_.str("CYJ1");
   w_.uv(static_cast<uint64_t>(numRanks));
+  emitTail(0);
+}
+
+void JournalBuilder::emitTail(size_t from) {
+  if (sink_)
+    sink_(std::span<const uint8_t>(w_.bytes().data() + from,
+                                   w_.bytes().size() - from));
 }
 
 void JournalBuilder::segment(uint8_t kind, const ByteWriter& payload) {
   CYP_CHECK(!sealed_, "journal: segment appended after the seal");
+  const size_t from = w_.size();
   w_.u8(kind);
   w_.uv(payload.size());
   w_.u32fixed(flate::crc32(payload.bytes()));
   w_.raw(payload.bytes());
+  emitTail(from);
 }
 
 void JournalBuilder::appendEvents(int rank, std::span<const Event> events) {

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -43,7 +44,15 @@ namespace cypress::trace {
 /// recoverable after any prefix.
 class JournalBuilder {
  public:
-  explicit JournalBuilder(int numRanks);
+  /// Receives every appended chunk (the header, then each complete
+  /// segment) immediately after it is written to the in-memory stream.
+  /// A sink that writes-and-flushes to a file makes the on-disk journal
+  /// exactly as crash-consistent as the format promises: a kill between
+  /// calls tears the file at a segment boundary, a kill mid-call tears
+  /// one segment — both recoverable prefixes.
+  using Sink = std::function<void(std::span<const uint8_t>)>;
+
+  explicit JournalBuilder(int numRanks, Sink sink = nullptr);
 
   /// Append an EVENTS segment for `rank` (no-op for an empty batch).
   void appendEvents(int rank, std::span<const Event> events);
@@ -64,8 +73,10 @@ class JournalBuilder {
 
  private:
   void segment(uint8_t kind, const ByteWriter& payload);
+  void emitTail(size_t from);
 
   ByteWriter w_;
+  Sink sink_;
   int numRanks_;
   uint64_t totalEvents_ = 0;
   bool sealed_ = false;
@@ -113,6 +124,15 @@ struct JournalRecovery {
   /// Ranks that neither finalized nor were declared lost by a seal —
   /// their traces are prefixes of unknown completeness.
   std::vector<int> unfinalizedRanks() const;
+
+  /// True when salvage discarded data or could not prove completeness:
+  /// the journal is unsealed, trailing bytes were dropped, or some rank
+  /// never finalized without being declared lost. A lossy recovery must
+  /// be reported as such (non-zero `cyptrace recover` exit, the
+  /// daemon's degraded-recover job outcome) — it is not a clean read.
+  bool lossy() const {
+    return !sealed || bytesDiscarded > 0 || !unfinalizedRanks().empty();
+  }
 };
 
 /// Salvage a (possibly torn) journal: replay CRC-valid segments up to

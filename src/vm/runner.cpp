@@ -40,6 +40,21 @@ RunResult run(const ir::Module& m, simmpi::Engine& engine,
   local.reserve(static_cast<size_t>(numRanks));
   int finishedCount = 0;
   while (finishedCount < numRanks) {
+    // Cooperative cancellation: checked once per epoch, so the watchdog
+    // latency is one epoch, and cancellation points are deterministic
+    // with respect to the commit order (never mid-commit).
+    if (opts.cancel && opts.cancel->load(std::memory_order_relaxed)) {
+      std::vector<int> active;
+      for (int r = 0; r < numRanks; ++r)
+        if (!vms[static_cast<size_t>(r)]->finished()) active.push_back(r);
+      out.cancelled = true;
+      out.stalledRanks = active;
+      out.stallDiagnostics =
+          engine.stallDump("run cancelled; active ranks:", active);
+      if (opts.onStall == OnStall::Throw)
+        throw Error("run cancelled\n" + out.stallDiagnostics);
+      break;
+    }
     // Phase 1 — parallel local slices. A rank joins the local phase
     // unless it is done or parked on the engine; the slice runs to the
     // rank's next MPI call, preparing that call's arguments. The chunked

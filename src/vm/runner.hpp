@@ -18,6 +18,7 @@
 // count, including threads=1.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -42,6 +43,13 @@ struct RunOptions {
   /// Any value produces byte-identical traces; this is purely a speed
   /// knob for the run stage.
   int threads = 1;
+  /// Cooperative cancellation (the cyptraced per-job watchdog): when the
+  /// pointed-to flag becomes true, the run stops at the next epoch
+  /// boundary. The remaining ranks are reported exactly like a stall —
+  /// per OnStall, with the engine's per-rank diagnostics — plus
+  /// RunResult::cancelled set, so a watchdogged job is distinguishable
+  /// from a genuine deadlock.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 struct RunResult {
@@ -52,9 +60,12 @@ struct RunResult {
   std::vector<int> deadRanks;         // ranks killed by the fault plan
   std::vector<int> stalledRanks;      // ranks still blocked at salvage time
   std::string stallDiagnostics;       // per-rank dump when the run stalled
+  bool cancelled = false;             // stopped by RunOptions::cancel
 
   /// True when every rank ran to MPI_Finalize.
-  bool clean() const { return deadRanks.empty() && stalledRanks.empty(); }
+  bool clean() const {
+    return deadRanks.empty() && stalledRanks.empty() && !cancelled;
+  }
 };
 
 /// Execute one program on `engine` with one observer per rank (entries

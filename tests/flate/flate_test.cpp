@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cmath>
 
 #include "flate/huffman.hpp"
+#include "support/bytebuf.hpp"
 #include "flate/lz77.hpp"
 #include "support/error.hpp"
 #include "support/rng.hpp"
@@ -300,6 +302,83 @@ TEST(Flate, Crc32KnownVector) {
   // CRC-32 of "123456789" is the classic check value 0xCBF43926.
   auto data = bytesOf("123456789");
   EXPECT_EQ(crc32(data), 0xCBF43926u);
+}
+
+// Reference bytewise CRC-32, the historical implementation: the
+// slice-by-8 path must agree with it on every input, including lengths
+// that exercise the unaligned head/tail handling.
+uint32_t crc32Bytewise(std::span<const uint8_t> data) {
+  static const auto table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t c = 0xFFFFFFFFu;
+  for (uint8_t b : data) c = table[(c ^ b) & 0xFF] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+TEST(Flate, Crc32SliceBy8MatchesBytewise) {
+  Rng rng(0xC4C32);
+  for (size_t len : {size_t{0}, size_t{1}, size_t{7}, size_t{8}, size_t{9},
+                     size_t{15}, size_t{16}, size_t{255}, size_t{1024},
+                     size_t{100003}}) {
+    std::vector<uint8_t> data(len);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.below(256));
+    EXPECT_EQ(crc32(data), crc32Bytewise(data)) << "len=" << len;
+    // Unaligned start: the slice loop must not assume 8-byte alignment.
+    if (len > 3) {
+      std::span<const uint8_t> tail(data.data() + 3, len - 3);
+      EXPECT_EQ(crc32(tail), crc32Bytewise(tail)) << "len=" << len;
+    }
+  }
+}
+
+TEST(Flate, Crc32CombineEqualsWholeBufferCrc) {
+  Rng rng(0xC0B13E);
+  for (int iter = 0; iter < 40; ++iter) {
+    const size_t len = 1 + rng.below(5000);
+    std::vector<uint8_t> data(len);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.below(256));
+    const size_t cut = rng.below(len + 1);
+    std::span<const uint8_t> a(data.data(), cut);
+    std::span<const uint8_t> b(data.data() + cut, len - cut);
+    EXPECT_EQ(crc32Combine(crc32(a), crc32(b), b.size()), crc32(data))
+        << "len=" << len << " cut=" << cut;
+  }
+}
+
+TEST(Flate, Crc32CombineEmptyAndAssociativity) {
+  auto a = bytesOf("per-shard");
+  auto b = bytesOf(" crc");
+  auto c = bytesOf(" merge");
+  EXPECT_EQ(crc32Combine(crc32(a), crc32(std::vector<uint8_t>{}), 0), crc32(a));
+  // Folding left-to-right over three pieces equals the whole-buffer CRC.
+  uint32_t folded = crc32Combine(crc32(a), crc32(b), b.size());
+  folded = crc32Combine(folded, crc32(c), c.size());
+  auto whole = bytesOf("per-shard crc merge");
+  EXPECT_EQ(folded, crc32(whole));
+}
+
+TEST(FlateParallel, FramedHeaderCrcUnchangedByShardedComputation) {
+  // The framed container computes its header CRC as a combine of
+  // per-shard CRCs; the container bytes must be identical to what a
+  // whole-input CRC produced (pinned by decompress, which re-CRCs the
+  // output, and by a direct header check).
+  Rng rng(77);
+  std::vector<uint8_t> data(3 * kShardBytes + 12345);
+  for (size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<uint8_t>((i / 7) % 251 ^ rng.below(4));
+  auto c = compress(data, Level::Fast, 2);
+  ByteReader r(c);
+  (void)r.raw(4);  // magic
+  EXPECT_EQ(r.uv(), data.size());
+  EXPECT_EQ(r.u32fixed(), crc32Bytewise(data));
+  EXPECT_EQ(decompress(c, 2), data);
 }
 
 TEST(Flate, StringHelpersRoundTrip) {

@@ -1,0 +1,209 @@
+// Seeded protocol fuzzer for the cyptraced socket framing.
+//
+// The contract under test, end to end: a Session confronted with
+// arbitrary bytes — truncation at every byte, flipped CRCs, oversized
+// length prefixes, random garbage — answers with a clean framed Error
+// (or valid responses for the intact prefix) and closes; it never
+// crashes, hangs, or throws out of consume(). The message decoders
+// underneath are additionally held to the trace-deserializer contract
+// via the shared corruption fuzzer: cypress::Error or clean decode,
+// nothing else.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "service/session.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "verify/fuzz.hpp"
+
+namespace cypress::service {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// A server the fuzzer can hammer cheaply: admission refuses every job
+/// (capacity 0) and the dispatcher never starts, so a mutant that
+/// happens to decode as a valid Submit costs a REJECTED_BUSY, not a
+/// traced run.
+struct FuzzServer {
+  FuzzServer() {
+    const std::string dir =
+        (fs::temp_directory_path() / "cyp_service_fuzz").string();
+    fs::remove_all(dir);
+    ServerConfig cfg;
+    cfg.spoolDir = dir;
+    cfg.queueCapacity = 0;
+    server = std::make_unique<JobServer>(cfg);
+  }
+  std::unique_ptr<JobServer> server;
+};
+
+/// The canonical healthy conversation every mutation starts from.
+std::vector<uint8_t> goodStream() {
+  std::vector<uint8_t> bytes;
+  auto add = [&](const Request& r) {
+    const auto f = encodeFrame(r.encode());
+    bytes.insert(bytes.end(), f.begin(), f.end());
+  };
+  Request hello;
+  hello.type = RequestType::Hello;
+  add(hello);
+  Request submit;
+  submit.type = RequestType::Submit;
+  submit.spec.kind = JobKind::Run;
+  submit.spec.target = "JACOBI";
+  submit.spec.procs = 4;
+  submit.spec.faultSpecs = {"drop:1@3"};
+  add(submit);
+  Request status;
+  status.type = RequestType::Status;
+  status.jobId = 1;
+  add(status);
+  Request list;
+  list.type = RequestType::List;
+  add(list);
+  Request counters;
+  counters.type = RequestType::Counters;
+  add(counters);
+  return bytes;
+}
+
+/// Drive one mutant byte stream through a fresh Session. Asserts the
+/// never-crash contract; returns the response bytes for further checks.
+std::vector<uint8_t> drive(JobServer& server, std::span<const uint8_t> bytes,
+                           uint64_t clientId) {
+  Session session(server, clientId);
+  std::vector<uint8_t> out;
+  EXPECT_NO_THROW(out = session.consume(bytes));
+  // Whatever came back must itself be well-framed, decodable responses
+  // — the server never answers garbage with garbage.
+  FrameDecoder d;
+  EXPECT_NO_THROW({
+    d.feed(out);
+    while (auto payload = d.next()) Response::decode(*payload);
+  });
+  return out;
+}
+
+TEST(ProtocolFuzz, TruncationAtEveryByte) {
+  FuzzServer fx;
+  const auto good = goodStream();
+  for (size_t len = 0; len <= good.size(); ++len) {
+    drive(*fx.server, std::span<const uint8_t>(good.data(), len), len);
+  }
+}
+
+TEST(ProtocolFuzz, SeededBitFlipsEverywhere) {
+  FuzzServer fx;
+  const auto good = goodStream();
+  Rng rng(0xF1A9);
+  // Every byte position, one seeded bit flip each — covers magic,
+  // length, CRC, and payload bytes of every frame in the stream.
+  for (size_t i = 0; i < good.size(); ++i) {
+    auto mutant = good;
+    mutant[i] ^= static_cast<uint8_t>(1u << rng.below(8));
+    drive(*fx.server, mutant, i);
+  }
+}
+
+TEST(ProtocolFuzz, FlippedCrcGetsOneErrorThenClose) {
+  FuzzServer fx;
+  auto mutant = goodStream();
+  mutant[8] ^= 0x01;  // first frame's CRC field
+  Session session(*fx.server, 1);
+  std::vector<uint8_t> out;
+  EXPECT_NO_THROW(out = session.consume(mutant));
+  EXPECT_TRUE(session.closed());
+  FrameDecoder d;
+  d.feed(out);
+  const auto payload = d.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(Response::decode(*payload).code, ResponseCode::Error);
+  EXPECT_FALSE(d.next().has_value()) << "responses after the error frame";
+  // A closed session ignores further bytes instead of resynchronizing
+  // on a corrupt stream.
+  EXPECT_TRUE(session.consume(goodStream()).empty());
+}
+
+TEST(ProtocolFuzz, OversizedLengthPrefixRejectedImmediately) {
+  FuzzServer fx;
+  const uint32_t lens[] = {static_cast<uint32_t>(kMaxFramePayload) + 1,
+                           0x7FFFFFFFu, 0xFFFFFFFFu};
+  for (uint32_t len : lens) {
+    std::vector<uint8_t> bytes = {'C', 'Y', 'S', '1'};
+    for (int i = 0; i < 4; ++i)
+      bytes.push_back(static_cast<uint8_t>(len >> (8 * i)));
+    for (int i = 0; i < 4; ++i) bytes.push_back(0);
+    Session session(*fx.server, 1);
+    std::vector<uint8_t> out;
+    EXPECT_NO_THROW(out = session.consume(bytes));
+    EXPECT_TRUE(session.closed());
+    FrameDecoder d;
+    d.feed(out);
+    EXPECT_EQ(Response::decode(*d.next()).code, ResponseCode::Error);
+  }
+}
+
+TEST(ProtocolFuzz, RandomGarbageStreams) {
+  FuzzServer fx;
+  Rng rng(0xBADF00D);
+  for (int round = 0; round < 200; ++round) {
+    std::vector<uint8_t> garbage(rng.below(257));
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.below(256));
+    drive(*fx.server, garbage, static_cast<uint64_t>(round));
+  }
+}
+
+TEST(ProtocolFuzz, RequestDecoderHoldsTheDeserializerContract) {
+  Request submit;
+  submit.type = RequestType::Submit;
+  submit.spec.kind = JobKind::Run;
+  submit.spec.target = "JACOBI";
+  submit.spec.sourceText = "func main() { mpi_barrier(); }";
+  submit.spec.procs = 8;
+  submit.spec.faultSpecs = {"kill:1@5", "delay:0@2:1000"};
+  const auto good = submit.encode();
+
+  verify::FuzzOptions fo;
+  fo.seed = 0x5EED;
+  fo.mutations = 500;
+  const auto rep = verify::corruptionFuzz(
+      good, [](std::span<const uint8_t> b) { Request::decode(b); }, fo);
+  EXPECT_TRUE(rep.ok()) << rep.toString();
+
+  const auto trep = verify::truncationSweep(
+      good, [](std::span<const uint8_t> b) { Request::decode(b); });
+  EXPECT_TRUE(trep.ok()) << trep.toString();
+}
+
+TEST(ProtocolFuzz, ResponseDecoderHoldsTheDeserializerContract) {
+  Response resp;
+  resp.code = ResponseCode::JobList;
+  for (int i = 0; i < 3; ++i) {
+    JobStatus s;
+    s.id = static_cast<uint64_t>(i + 1);
+    s.state = JobState::Done;
+    s.detail = "traced 6096 events on 8 ranks";
+    s.artifactPath = "/spool/job-" + std::to_string(i + 1) + ".cyp";
+    s.artifactBytes = 5904;
+    resp.jobs.push_back(s);
+  }
+  const auto good = resp.encode();
+
+  verify::FuzzOptions fo;
+  fo.seed = 0x5EED2;
+  fo.mutations = 500;
+  const auto rep = verify::corruptionFuzz(
+      good, [](std::span<const uint8_t> b) { Response::decode(b); }, fo);
+  EXPECT_TRUE(rep.ok()) << rep.toString();
+
+  const auto trep = verify::truncationSweep(
+      good, [](std::span<const uint8_t> b) { Response::decode(b); });
+  EXPECT_TRUE(trep.ok()) << trep.toString();
+}
+
+}  // namespace
+}  // namespace cypress::service

@@ -230,6 +230,16 @@ int cmdRecover(const Args& a) {
     std::printf("recovered raw trace -> %s (%s)\n", a.out.c_str(),
                 humanBytes(raw.size()).c_str());
   }
+  // A lossy salvage is a partial answer, not a clean read: scripts
+  // chaining recover into analysis must see it in the exit code, not
+  // only in stdout.
+  if (rec.lossy()) {
+    std::printf("lossy recovery: %zu trailing bytes dropped, "
+                "%zu unfinalized rank(s)%s\n",
+                rec.bytesDiscarded, open.size(),
+                rec.sealed ? "" : ", journal unsealed");
+    return 3;
+  }
   return 0;
 }
 
