@@ -20,6 +20,7 @@
 #include "cypress/merge.hpp"
 #include "flate/flate.hpp"
 #include "minic/compile.hpp"
+#include "support/io.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
 #include "trace/observer.hpp"
@@ -32,6 +33,12 @@ namespace {
 
 struct Stages {
   double compile = 0, run = 0, build = 0, merge = 0, serialize = 0, flate = 0;
+  // ru_maxrss (KiB) sampled at each stage boundary. The kernel counter
+  // is a monotone process-wide high-water mark, so rssKb[i] reads as
+  // "peak RSS up to and including stage i", and only the first rep of
+  // the first row sees fresh marks — later samples inherit whatever
+  // high water earlier work already set.
+  uint64_t rssKb[6] = {};
   double total() const {
     return compile + run + build + merge + serialize + flate;
   }
@@ -48,6 +55,7 @@ Stages timeOnce(const std::string& name, int procs, int threads) {
   cst::StaticResult sr = cst::analyzeAndInstrument(*module);
   cst::Tree cst = std::move(sr.cst);
   t.compile = sw.seconds();
+  t.rssKb[0] = io::peakRssBytes() >> 10;
 
   // run: traced simulated execution (epoch-parallel local phases).
   sw.restart();
@@ -76,6 +84,7 @@ Stages timeOnce(const std::string& name, int procs, int threads) {
   runOpts.threads = threads;
   vm::run(*module, engine, obs, runOpts);
   t.run = sw.seconds();
+  t.rssKb[1] = io::peakRssBytes() >> 10;
 
   // build: per-rank CYPP trace files (serialize + compress, pool tasks).
   sw.restart();
@@ -84,6 +93,7 @@ Stages timeOnce(const std::string& name, int procs, int threads) {
     rankFiles[r] = flate::compress(cypress[r]->ctt().serialize());
   });
   t.build = sw.seconds();
+  t.rssKb[2] = io::peakRssBytes() >> 10;
 
   // merge: the O(n log P) inter-process reduction.
   sw.restart();
@@ -91,18 +101,21 @@ Stages timeOnce(const std::string& name, int procs, int threads) {
   for (const auto& c : cypress) ctts.push_back(&c->ctt());
   core::MergedCtt merged = core::mergeAll(std::move(ctts), nullptr, threads);
   t.merge = sw.seconds();
+  t.rssKb[3] = io::peakRssBytes() >> 10;
 
   // serialize: merged CYPC + raw CYTR byte streams.
   sw.restart();
   const auto mergedBytes = merged.serialize();
   const auto rawBytes = raw.serialize();
   t.serialize = sw.seconds();
+  t.rssKb[4] = io::peakRssBytes() >> 10;
 
   // flate: the general-purpose codec over both streams (sharded).
   sw.restart();
   const auto gz = flate::compress(rawBytes, flate::Level::Default, threads);
   const auto cypGz = flate::compress(mergedBytes, flate::Level::Default, threads);
   t.flate = sw.seconds();
+  t.rssKb[5] = io::peakRssBytes() >> 10;
   (void)gz;
   (void)cypGz;
   (void)rankFiles;
@@ -111,10 +124,15 @@ Stages timeOnce(const std::string& name, int procs, int threads) {
 
 Stages bestOf(const std::string& name, int procs, int threads, int reps) {
   Stages best;
+  uint64_t rep0Rss[6] = {};
   for (int i = 0; i < reps; ++i) {
     Stages t = timeOnce(name, procs, threads);
+    if (i == 0) std::copy(std::begin(t.rssKb), std::end(t.rssKb), rep0Rss);
     if (i == 0 || t.total() < best.total()) best = t;
   }
+  // Timing takes the best rep; RSS must take the FIRST, because the
+  // high-water mark never recedes between reps.
+  std::copy(std::begin(rep0Rss), std::end(rep0Rss), best.rssKb);
   return best;
 }
 
@@ -131,13 +149,16 @@ int main(int argc, char** argv) {
   bench::header("cyperf — pipeline stage wall times (s) by thread count",
                 "the parallel merge of Fig. 18, SC'14 CYPRESS paper");
   bench::row({"program", "procs", "threads", "compile", "run", "build",
-              "merge", "serialize", "flate", "total"});
+              "merge", "serialize", "flate", "total", "peakRSS"});
 
   std::string json = "{\n";
   json += "  \"bench\": \"cyperf\",\n";
   json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
   json += "  \"shard_bytes\": " + std::to_string(flate::kShardBytes) + ",\n";
   json += "  \"reps\": " + std::to_string(reps) + ",\n";
+  json += "  \"rss_note\": \"ru_maxrss high-water mark (KiB) at each stage "
+          "boundary of rep 0; monotone within a process, so only the first "
+          "row's marks are unpolluted by earlier rows\",\n";
   json += "  \"entries\": [\n";
   bool first = true;
   bool anyOversubscribed = false;
@@ -158,19 +179,29 @@ int main(int argc, char** argv) {
                   bench::secs(t.compile), bench::secs(t.run),
                   bench::secs(t.build), bench::secs(t.merge),
                   bench::secs(t.serialize), bench::secs(t.flate),
-                  bench::secs(t.total())});
+                  bench::secs(t.total()),
+                  std::to_string(t.rssKb[5] >> 10) + "M"});
       std::fflush(stdout);
-      char buf[512];
+      char buf[896];
       std::snprintf(
           buf, sizeof buf,
           "%s    {\"workload\": \"%s\", \"procs\": %d, \"threads\": %d, "
           "\"oversubscribed\": %s, "
           "\"stages_s\": {\"compile\": %.6f, \"run\": %.6f, \"build\": %.6f, "
           "\"merge\": %.6f, \"serialize\": %.6f, \"flate\": %.6f}, "
-          "\"total_s\": %.6f}",
+          "\"total_s\": %.6f, "
+          "\"rss_peak_kb\": {\"compile\": %llu, \"run\": %llu, "
+          "\"build\": %llu, \"merge\": %llu, \"serialize\": %llu, "
+          "\"flate\": %llu}}",
           first ? "" : ",\n", name.c_str(), procs, threads,
           oversubscribed ? "true" : "false", t.compile, t.run, t.build,
-          t.merge, t.serialize, t.flate, t.total());
+          t.merge, t.serialize, t.flate, t.total(),
+          static_cast<unsigned long long>(t.rssKb[0]),
+          static_cast<unsigned long long>(t.rssKb[1]),
+          static_cast<unsigned long long>(t.rssKb[2]),
+          static_cast<unsigned long long>(t.rssKb[3]),
+          static_cast<unsigned long long>(t.rssKb[4]),
+          static_cast<unsigned long long>(t.rssKb[5]));
       json += buf;
       first = false;
     }

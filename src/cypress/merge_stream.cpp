@@ -1,0 +1,349 @@
+#include "cypress/merge_stream.hpp"
+
+#include <map>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "flate/flate.hpp"
+#include "support/error.hpp"
+
+namespace cypress::core {
+
+namespace {
+
+/// One reduction operand: a durable spill file (relative name) or —
+/// only after a degraded reduction spill — an in-memory tree.
+struct Slot {
+  std::string file;
+  std::shared_ptr<MergedCtt> mem;
+};
+
+}  // namespace
+
+StreamingMergeResult streamingMerge(int numRanks, const CttSource& source,
+                                    const cst::Tree& cst,
+                                    const StreamingMergeOptions& opts) {
+  CYP_CHECK(numRanks >= 1, "streamingMerge: need at least one rank");
+  CYP_CHECK(!opts.workDir.empty(), "streamingMerge: workDir is required");
+  io::IoBackend& io = opts.io ? *opts.io : io::realIo();
+  io.createDirectories(opts.workDir);
+  const std::string manifestPath = opts.workDir + "/merge.cym";
+  auto abs = [&](const std::string& rel) { return opts.workDir + "/" + rel; };
+
+  MergePlanKey key;
+  key.numRanks = static_cast<uint64_t>(numRanks);
+  key.budgetBytes = opts.budgetBytes;
+  key.maxBatchRanks = opts.maxBatchRanks;
+
+  std::optional<ManifestRecovery> rec;
+  if (opts.resume) {
+    rec = recoverManifestFile(io, manifestPath);
+    if (rec)
+      CYP_CHECK(rec->key == key,
+                "streamingMerge: resume plan mismatch (manifest has "
+                    << rec->key.numRanks << " ranks / budget "
+                    << rec->key.budgetBytes << " / batch cap "
+                    << rec->key.maxBatchRanks << "; caller asked for "
+                    << key.numRanks << " / " << key.budgetBytes << " / "
+                    << key.maxBatchRanks
+                    << ") — resume must repeat the interrupted invocation");
+  }
+
+  // The manifest is the resume protocol, not the result: with `degrade`
+  // a manifest that can no longer be appended to (disk full) stops
+  // checkpointing but not the merge.
+  std::unique_ptr<ManifestWriter> writer;
+  bool manifestAlive = true;
+  try {
+    writer = std::make_unique<ManifestWriter>(io, manifestPath, key,
+                                              opts.resume);
+  } catch (const io::IoError&) {
+    if (!opts.degrade) throw;
+    manifestAlive = false;
+  }
+
+  StreamingMergeResult res{MergedCtt(cst), 0, 0, 0, 0, RankSet{}};
+  std::vector<std::string> spillFiles;  // everything to clean up on success
+
+  auto checkpoint = [&](const std::function<void()>& append) {
+    ++res.stepsExecuted;
+    if (!manifestAlive) return;
+    try {
+      append();
+    } catch (const io::IoError&) {
+      if (!opts.degrade) throw;
+      manifestAlive = false;
+      return;
+    }
+    if (opts.crashAfterSteps != 0 &&
+        writer->segmentsWritten() >= opts.crashAfterSteps)
+      std::raise(SIGKILL);
+  };
+
+  // ---- Phase A: leaf batches ------------------------------------------
+  // Batch boundaries are a pure function of (plan key, rank CTT stream):
+  // close when the accumulator crosses budget/4 or the rank cap. The /4
+  // headroom leaves room for the reduction phase's two loaded operands
+  // plus serialization buffers inside the same overall budget.
+  const uint64_t leafBudget = opts.budgetBytes ? opts.budgetBytes / 4 : 0;
+
+  struct BatchResult {
+    std::optional<MergedCtt> acc;
+    int count = 0;
+    RankSet lost;
+  };
+  auto computeBatch = [&](int firstRank) {
+    BatchResult b;
+    int r = firstRank;
+    while (r < numRanks) {
+      if (opts.maxBatchRanks != 0 &&
+          static_cast<uint64_t>(b.count) >= opts.maxBatchRanks)
+        break;
+      std::optional<Ctt> ctt = source(r);
+      if (ctt) {
+        MergedCtt one = MergedCtt::fromCtt(*ctt, r);
+        if (!b.acc) b.acc.emplace(std::move(one));
+        else b.acc->absorb(std::move(one));
+      } else {
+        b.lost.insert(r);
+      }
+      ++b.count;
+      ++r;
+      if (b.acc && leafBudget != 0 && b.acc->memoryBytes() > leafBudget) break;
+    }
+    return b;
+  };
+  auto batchBytes = [&](BatchResult& b) {
+    return b.acc ? b.acc->serialize() : MergedCtt(cst).serialize();
+  };
+
+  std::vector<BatchRecord> recBatches;
+  if (rec) recBatches = rec->batches;
+
+  RankSet lostAll;           // every rank absent from the final tree
+  std::vector<Slot> slots;   // surviving batches, in batch order
+  uint64_t batchIndex = 0;
+  int rank = 0;
+  while (rank < numRanks) {
+    if (batchIndex < recBatches.size()) {
+      // Checkpointed batch: reuse its durable spill, or — if the file
+      // was damaged behind the checkpoint — recompute it; determinism
+      // guarantees the recomputation matches the recorded bytes.
+      const BatchRecord& b = recBatches[batchIndex];
+      CYP_CHECK(b.firstRank == rank,
+                "manifest: batch " << batchIndex << " starts at rank "
+                                   << b.firstRank << ", expected " << rank);
+      lostAll.unite(b.lostRanks);
+      if (b.file.empty()) {
+        res.droppedRanks.unite(b.lostRanks);
+      } else if (spillIntact(io, abs(b.file), b.fileBytes, b.fileCrc)) {
+        slots.push_back({b.file, nullptr});
+        spillFiles.push_back(b.file);
+      } else {
+        BatchResult fresh = computeBatch(rank);
+        CYP_CHECK(fresh.count == b.rankCount,
+                  "manifest: batch " << batchIndex << " re-derives "
+                                     << fresh.count << " ranks, checkpoint has "
+                                     << b.rankCount);
+        const auto bytes = batchBytes(fresh);
+        CYP_CHECK(bytes.size() == b.fileBytes &&
+                      flate::crc32(bytes) == b.fileCrc,
+                  "manifest: recomputed batch "
+                      << batchIndex
+                      << " diverges from its checkpoint — the rank traces "
+                      << "changed since the interrupted run");
+        writeSpill(io, abs(b.file), bytes);
+        slots.push_back({b.file, nullptr});
+        spillFiles.push_back(b.file);
+      }
+      rank += b.rankCount;
+      ++batchIndex;
+      ++res.stepsResumed;
+      continue;
+    }
+
+    BatchResult b = computeBatch(rank);
+    BatchRecord entry;
+    entry.batchIndex = batchIndex;
+    entry.firstRank = rank;
+    entry.rankCount = b.count;
+    entry.file = "b" + std::to_string(batchIndex) + ".cysp";
+    const auto bytes = batchBytes(b);
+    entry.fileBytes = bytes.size();
+    entry.fileCrc = flate::crc32(bytes);
+    entry.lostRanks = b.lost;
+    bool spilled = true;
+    try {
+      writeSpill(io, abs(entry.file), bytes);
+    } catch (const io::IoError&) {
+      if (!opts.degrade) throw;
+      spilled = false;
+    }
+    if (spilled) {
+      slots.push_back({entry.file, nullptr});
+      spillFiles.push_back(entry.file);
+    } else {
+      // Graceful degradation: this batch's ranks are lost, the merge
+      // lives on. The empty-file record makes the drop durable so a
+      // later resume does not resurrect half of the plan.
+      try {
+        io.remove(abs(entry.file));
+      } catch (const Error&) {
+      }
+      entry.file.clear();
+      entry.fileBytes = 0;
+      entry.fileCrc = 0;
+      for (int r = rank; r < rank + b.count; ++r) entry.lostRanks.insert(r);
+      res.droppedRanks.unite(entry.lostRanks);
+    }
+    lostAll.unite(entry.lostRanks);
+    checkpoint([&] { writer->appendBatch(entry); });
+    rank += b.count;
+    ++batchIndex;
+  }
+  res.batches = batchIndex;
+
+  // ---- Phase B: binary-tree reduction over the spills -----------------
+  // Fixed pairing (2p, 2p+1), odd slot carried — the same deterministic
+  // shape mergeAll uses, so the result is independent of where crashes
+  // or resumes landed.
+  std::map<std::pair<uint64_t, uint64_t>, MergeRecord> recMerges;
+  if (rec)
+    for (const MergeRecord& m : rec->merges)
+      recMerges[{m.round, m.pairIndex}] = m;
+
+  auto loadSlot = [&](Slot& s) {
+    if (s.mem) return std::move(*s.mem);
+    return MergedCtt::deserialize(readSpill(io, abs(s.file)), cst);
+  };
+
+  uint64_t round = 0;
+  while (slots.size() > 1) {
+    std::vector<Slot> next;
+    const size_t npairs = slots.size() / 2;
+    for (size_t p = 0; p < npairs; ++p) {
+      const std::string outFile =
+          "r" + std::to_string(round) + "-p" + std::to_string(p) + ".cysp";
+      Slot a = std::move(slots[2 * p]);
+      Slot b = std::move(slots[2 * p + 1]);
+
+      const auto it = recMerges.find({round, p});
+      if (it != recMerges.end()) {
+        const MergeRecord& m = it->second;
+        CYP_CHECK(m.file == outFile,
+                  "manifest: merge checkpoint names " << m.file << ", plan says "
+                                                      << outFile);
+        if (!spillIntact(io, abs(m.file), m.fileBytes, m.fileCrc)) {
+          MergedCtt left = loadSlot(a);
+          left.absorb(loadSlot(b));
+          const auto bytes = left.serialize();
+          CYP_CHECK(bytes.size() == m.fileBytes &&
+                        flate::crc32(bytes) == m.fileCrc,
+                    "manifest: recomputed merge r" << round << "-p" << p
+                                                   << " diverges from its "
+                                                   << "checkpoint");
+          writeSpill(io, abs(m.file), bytes);
+        }
+        next.push_back({m.file, nullptr});
+        spillFiles.push_back(m.file);
+        ++res.stepsResumed;
+        continue;
+      }
+
+      MergedCtt left = loadSlot(a);
+      left.absorb(loadSlot(b));
+      const auto bytes = left.serialize();
+      MergeRecord m;
+      m.round = round;
+      m.pairIndex = p;
+      m.file = outFile;
+      m.fileBytes = bytes.size();
+      m.fileCrc = flate::crc32(bytes);
+      bool spilled = true;
+      try {
+        writeSpill(io, abs(outFile), bytes);
+      } catch (const io::IoError&) {
+        if (!opts.degrade) throw;
+        spilled = false;
+      }
+      if (spilled) {
+        checkpoint([&] { writer->appendMerge(m); });
+        next.push_back({outFile, nullptr});
+        spillFiles.push_back(outFile);
+      } else {
+        // Disk is failing: keep this intermediate in RAM and finish the
+        // merge best-effort — correctness outranks the memory bound
+        // once the spill path is gone.
+        try {
+          io.remove(abs(outFile));
+        } catch (const Error&) {
+        }
+        next.push_back({"", std::make_shared<MergedCtt>(std::move(left))});
+      }
+    }
+    if (slots.size() % 2 != 0) next.push_back(std::move(slots.back()));
+    slots = std::move(next);
+    ++round;
+  }
+  res.reductionRounds = round;
+
+  MergedCtt merged = slots.empty() ? MergedCtt(cst) : loadSlot(slots.front());
+  merged.markLost(lostAll);
+  res.merged = std::move(merged);
+
+  // ---- FINAL: atomic write of the merged CYPC -------------------------
+  if (!opts.outPath.empty()) {
+    if (rec && rec->final) {
+      const FinalRecord& f = *rec->final;
+      CYP_CHECK(f.outPath == opts.outPath,
+                "manifest: resume writes to " << f.outPath
+                                              << ", caller asked for "
+                                              << opts.outPath);
+      bool intact = false;
+      if (io.exists(opts.outPath)) {
+        try {
+          const auto cur = io.readAll(opts.outPath);
+          intact = cur.size() == f.bytes && flate::crc32(cur) == f.crc;
+        } catch (const Error&) {
+        }
+      }
+      if (!intact) {
+        // The checkpoint outlived the artifact (e.g. a torn rename):
+        // verify-and-repair from the deterministic result.
+        const auto bytes = res.merged.serialize();
+        CYP_CHECK(bytes.size() == f.bytes && flate::crc32(bytes) == f.crc,
+                  "manifest: final artifact diverges from its checkpoint");
+        io::writeFileAtomic(io, opts.outPath, bytes);
+      }
+      ++res.stepsResumed;
+    } else {
+      const auto bytes = res.merged.serialize();
+      FinalRecord f;
+      f.outPath = opts.outPath;
+      f.bytes = bytes.size();
+      f.crc = flate::crc32(bytes);
+      io::writeFileAtomic(io, opts.outPath, bytes);
+      checkpoint([&] { writer->appendFinal(f); });
+    }
+  }
+
+  if (!opts.keepWorkDir) {
+    // Success: the checkpoint has served its purpose. Best-effort — a
+    // cleanup failure must not fail a completed merge.
+    for (const std::string& f : spillFiles) {
+      try {
+        io.remove(abs(f));
+      } catch (const Error&) {
+      }
+    }
+    writer.reset();
+    try {
+      io.remove(manifestPath);
+    } catch (const Error&) {
+    }
+  }
+  return res;
+}
+
+}  // namespace cypress::core

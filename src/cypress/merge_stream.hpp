@@ -1,0 +1,103 @@
+// Memory-bounded, crash-resumable hierarchical streaming merge.
+//
+// mergeAll (cypress/merge.hpp) holds every rank's CTT in RAM at once —
+// fine at P=64, fatal at the P=4K–64K scale the paper's constant-size
+// claim is about. streamingMerge instead:
+//
+//   phase A (leaf batches): pull rank CTTs one at a time from a source
+//     callback, absorbing into an in-RAM accumulator until it exceeds
+//     the batch budget (or a fixed rank cap), then spill the batch to
+//     disk as a sealed CYSP file and checkpoint it in the CYM1
+//     manifest. Peak memory is one accumulator + one incoming CTT,
+//     independent of P.
+//   phase B (reduction): binary-tree reduce the spill files with fixed
+//     pairing, loading two at a time, spilling and checkpointing each
+//     intermediate. Peak memory is two partial merges.
+//
+// Every durable step (spill + manifest segment) survives kill -9 and
+// injected disk faults: `resume` replays the manifest, verifies each
+// recorded spill (seal + length + CRC), redoes anything not fully
+// durable, and — because batching and pairing are pure functions of
+// (numRanks, budget, maxBatchRanks) and the rank stream — produces a
+// final CYPC byte-identical to an uninterrupted run.
+//
+// Graceful degradation (`degrade`): when a *batch spill* dies on a
+// disk fault, the batch's ranks are annotated as lost (the PR 2
+// lostRanks mechanism) and the merge continues — a valid partial trace
+// beats no trace once the disk is known-bad. Reduction-spill faults
+// fall back to keeping that intermediate in RAM (correctness over the
+// memory bound; the budget is best-effort once the disk failed).
+// Without `degrade`, the first disk fault propagates as io::IoError and
+// the on-disk state remains resumable.
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "cypress/merge.hpp"
+#include "cypress/spill.hpp"
+#include "support/io.hpp"
+
+namespace cypress::core {
+
+struct StreamingMergeOptions {
+  /// Target peak bytes of merged-CTT state held in RAM. Leaf batches
+  /// close once the accumulator crosses budgetBytes/4 (reduction holds
+  /// two loaded intermediates plus serialization buffers, hence the
+  /// headroom divisor). 0 = unbounded batches (degenerates to one
+  /// batch, i.e. plain mergeAll semantics with a spill at the end).
+  uint64_t budgetBytes = 256ull << 20;
+  /// Hard cap on ranks per leaf batch (0 = budget-driven only). Tests
+  /// use small caps to force deep reduction trees at tiny P.
+  uint64_t maxBatchRanks = 0;
+  /// Directory for spill files + the checkpoint manifest. Created if
+  /// missing. Removed contents on success unless keepWorkDir.
+  std::string workDir;
+  /// Null = the process-wide real backend.
+  io::IoBackend* io = nullptr;
+  /// Resume an interrupted merge from workDir's manifest. Without this
+  /// flag an existing manifest is refused (matching the ledger).
+  bool resume = false;
+  /// Lost-ranks degradation instead of failing on disk faults.
+  bool degrade = false;
+  /// Keep spills + manifest after success (debugging).
+  bool keepWorkDir = false;
+  /// When set, atomically write the final merged CYPC here and record
+  /// it as the manifest's FINAL step; a resume that finds the artifact
+  /// damaged (e.g. torn rename) repairs it from the checkpointed
+  /// size + CRC. Empty = caller handles the result in-process.
+  std::string outPath;
+  /// Kill-matrix test hook: raise SIGKILL after the Nth durable step
+  /// (manifest segment) of this run, 0 = never. Counts only steps
+  /// executed live, not steps satisfied from the checkpoint, so
+  /// "crash at step N, resume, crash at step N+1" walks the whole merge.
+  uint64_t crashAfterSteps = 0;
+};
+
+/// Produces rank `rank`'s finalized CTT, or nullopt when the rank's
+/// trace was lost (it is annotated in lostRanks and skipped). Called
+/// at most once per rank, in ascending rank order.
+using CttSource = std::function<std::optional<Ctt>(int rank)>;
+
+struct StreamingMergeResult {
+  MergedCtt merged;
+  uint64_t batches = 0;        ///< leaf batches in the plan
+  uint64_t reductionRounds = 0;
+  uint64_t stepsExecuted = 0;  ///< durable steps run live this call
+  uint64_t stepsResumed = 0;   ///< steps satisfied from the checkpoint
+  RankSet droppedRanks;        ///< ranks degraded away by disk faults
+};
+
+/// Merge `numRanks` per-process CTTs (all sharing `cst`) into one
+/// MergedCtt under the options' memory budget. See file comment for
+/// the crash/resume contract. Throws io::IoError on disk faults
+/// (unless opts.degrade) and cypress::Error on plan violations
+/// (mismatched resume parameters, corrupt foreign manifest).
+StreamingMergeResult streamingMerge(int numRanks, const CttSource& source,
+                                    const cst::Tree& cst,
+                                    const StreamingMergeOptions& opts);
+
+}  // namespace cypress::core

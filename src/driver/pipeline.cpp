@@ -282,4 +282,74 @@ SizeReport computeSizes(const RunOutput& run, int threads) {
   return rep;
 }
 
+namespace {
+
+std::string rankFileName(int rank) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "rank-%05d.cypp", rank);
+  return buf;
+}
+
+constexpr uint64_t kRankDirVersion = 1;
+
+}  // namespace
+
+RankSet writeRankTraces(const RunOutput& run, const std::string& dir,
+                        io::IoBackend* io) {
+  io::IoBackend& be = io ? *io : io::realIo();
+  CYP_CHECK(!run.rankTraceFiles.empty(),
+            "writeRankTraces: the run has no per-rank traces (run with "
+            "Options::emitRankTraces)");
+  be.createDirectories(dir);
+
+  ByteWriter meta;
+  meta.str("CYRD");
+  meta.uv(kRankDirVersion);
+  meta.uv(run.rankTraceFiles.size());
+  io::writeFileAtomic(be, dir + "/meta.cyrd", meta.bytes());
+  io::writeFileAtomic(be, dir + "/cst.cyst",
+                      flate::compressString(run.cst->toText()));
+
+  RankSet lost;
+  for (size_t r = 0; r < run.rankTraceFiles.size(); ++r) {
+    if (run.rankTraceFiles[r].empty()) {
+      lost.insert(static_cast<int>(r));
+      continue;
+    }
+    io::writeFileAtomic(be, dir + "/" + rankFileName(static_cast<int>(r)),
+                        run.rankTraceFiles[r]);
+  }
+  return lost;
+}
+
+std::optional<core::Ctt> RankTraceDir::load(int rank) const {
+  io::IoBackend& be = io ? *io : io::realIo();
+  const std::string path = dir + "/" + rankFileName(rank);
+  if (!be.exists(path)) return std::nullopt;
+  return core::Ctt::deserialize(flate::decompress(be.readAll(path)), *cst);
+}
+
+RankTraceDir openRankTraceDir(const std::string& dir, io::IoBackend* io) {
+  io::IoBackend& be = io ? *io : io::realIo();
+  RankTraceDir out;
+  out.dir = dir;
+  out.io = io;
+
+  const std::vector<uint8_t> metaBytes = be.readAll(dir + "/meta.cyrd");
+  ByteReader meta(metaBytes);
+  CYP_CHECK(meta.str() == "CYRD", dir << ": not a rank-trace directory");
+  const uint64_t version = meta.uv();
+  CYP_CHECK(version == kRankDirVersion,
+            dir << ": unsupported rank-dir version " << version);
+  const uint64_t numRanks = meta.uv();
+  CYP_CHECK(meta.atEnd(), dir << ": trailing bytes in meta.cyrd");
+  CYP_CHECK(numRanks >= 1 && numRanks <= (1u << 22),
+            dir << ": implausible rank count " << numRanks);
+  out.numRanks = static_cast<int>(numRanks);
+
+  out.cst = std::make_shared<cst::Tree>(cst::Tree::fromText(
+      flate::decompressToString(be.readAll(dir + "/cst.cyst"))));
+  return out;
+}
+
 }  // namespace cypress::driver

@@ -21,6 +21,7 @@
 #include "scalatrace/inter.hpp"
 #include "scalatrace/recorder.hpp"
 #include "simmpi/engine.hpp"
+#include "support/io.hpp"
 #include "trace/event.hpp"
 #include "trace/journal.hpp"
 #include "verify/roundtrip.hpp"
@@ -186,5 +187,38 @@ core::MergedCtt mergeCypress(const RunOutput& run, CostMeter* cost = nullptr,
 
 /// Roundtrip-verify every trace a run produced (see verify/roundtrip.hpp).
 verify::Report verifyRun(const RunOutput& run, int threads = 1);
+
+/// Write a run's per-rank traces as a rank-trace directory — the
+/// paper's deployment model made durable:
+///
+///   dir/meta.cyrd       str "CYRD" | uv version (1) | uv numRanks
+///   dir/cst.cyst        flate(cst text)           — the shared tree
+///   dir/rank-NNNNN.cypp flate(Ctt::serialize())   — one per finalized
+///                                                   rank; lost ranks
+///                                                   have no file
+///
+/// Every file is written atomically (tmp + fsync + rename) through
+/// `io` (null = real backend), so a crash mid-emit never leaves a
+/// torn file under a final name. Requires the run to have been made
+/// with Options::emitRankTraces. Returns the ranks with no file (the
+/// run's lost ranks) so callers can report coverage.
+RankSet writeRankTraces(const RunOutput& run, const std::string& dir,
+                        io::IoBackend* io = nullptr);
+
+/// An opened rank-trace directory: `cyptrace merge`'s input, and the
+/// natural CttSource for core::streamingMerge (load(rank) is nullopt
+/// exactly for the lost ranks).
+struct RankTraceDir {
+  std::shared_ptr<const cst::Tree> cst;
+  int numRanks = 0;
+  std::string dir;
+  io::IoBackend* io = nullptr;
+
+  /// Deserialize one rank's CTT; nullopt when the rank has no file.
+  std::optional<core::Ctt> load(int rank) const;
+};
+
+RankTraceDir openRankTraceDir(const std::string& dir,
+                              io::IoBackend* io = nullptr);
 
 }  // namespace cypress::driver

@@ -20,36 +20,28 @@ std::string checkedStr(ByteReader& r) {
 }
 
 JobState checkedState(uint8_t v) {
-  CYP_CHECK(v <= static_cast<uint8_t>(JobState::Cancelled),
+  CYP_CHECK(v <= static_cast<uint8_t>(JobState::FailedDisk),
             "ledger: unknown job state " << int(v));
   return static_cast<JobState>(v);
 }
 
 }  // namespace
 
-LedgerWriter::LedgerWriter(const std::string& path, bool resume) {
-  bool fresh = true;
-  {
-    std::error_code ec;
-    const auto size = std::filesystem::file_size(path, ec);
-    if (!ec && size > 0) fresh = false;
-  }
+LedgerWriter::LedgerWriter(const std::string& path, bool resume,
+                           io::IoBackend* io)
+    : io_(io ? io : &io::realIo()) {
+  const bool fresh = !io_->exists(path) || io_->fileSize(path) == 0;
   CYP_CHECK(fresh || resume,
             "ledger: " << path << " already exists; run with --recover to "
                        << "salvage it or remove it to start fresh");
-  f_ = std::fopen(path.c_str(), "ab");
-  CYP_CHECK(f_ != nullptr, "ledger: cannot open " << path << " for append");
+  file_ = io_->openWrite(path, /*append=*/true);
   if (fresh) {
     ByteWriter h;
     h.str("CYL1");
     h.uv(kLedgerVersion);
-    std::fwrite(h.bytes().data(), 1, h.bytes().size(), f_);
-    std::fflush(f_);
+    file_->write(h.bytes());
+    file_->sync();
   }
-}
-
-LedgerWriter::~LedgerWriter() {
-  if (f_) std::fclose(f_);
 }
 
 void LedgerWriter::segment(uint8_t kind, const ByteWriter& payload) {
@@ -58,11 +50,13 @@ void LedgerWriter::segment(uint8_t kind, const ByteWriter& payload) {
   w.uv(payload.size());
   w.u32fixed(flate::crc32(payload.bytes()));
   w.raw(payload.bytes());
-  // One fwrite + fflush per segment: a kill between appends tears the
-  // file at a segment boundary; a kill mid-write tears one segment.
-  // Either way recovery salvages everything before it.
-  std::fwrite(w.bytes().data(), 1, w.bytes().size(), f_);
-  std::fflush(f_);
+  // One write + fsync per segment: a kill between appends tears the
+  // file at a segment boundary; a kill mid-write tears one segment —
+  // either way recovery salvages everything before it — and a state
+  // transition the daemon acted on can no longer be lost to the page
+  // cache on power failure.
+  file_->write(w.bytes());
+  file_->sync();
   ++segments_;
 }
 
@@ -177,24 +171,10 @@ LedgerRecovery parseLedger(std::span<const uint8_t> data) {
   return readLedger(data, /*strict=*/true);
 }
 
-LedgerRecovery recoverLedgerFile(const std::string& path) {
-  std::error_code ec;
-  if (!std::filesystem::exists(path, ec) || ec) return LedgerRecovery{};
-
-  std::vector<uint8_t> bytes;
-  {
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    CYP_CHECK(f != nullptr, "ledger: cannot open " << path);
-    std::fseek(f, 0, SEEK_END);
-    const long size = std::ftell(f);
-    std::fseek(f, 0, SEEK_SET);
-    bytes.resize(size > 0 ? static_cast<size_t>(size) : 0);
-    if (!bytes.empty()) {
-      const size_t got = std::fread(bytes.data(), 1, bytes.size(), f);
-      bytes.resize(got);
-    }
-    std::fclose(f);
-  }
+LedgerRecovery recoverLedgerFile(const std::string& path, io::IoBackend* io) {
+  io::IoBackend& be = io ? *io : io::realIo();
+  if (!be.exists(path)) return LedgerRecovery{};
+  const std::vector<uint8_t> bytes = be.readAll(path);
   if (bytes.empty()) return LedgerRecovery{};
 
   // A kill can land mid-write of the header itself. A strict prefix of
@@ -204,23 +184,20 @@ LedgerRecovery recoverLedgerFile(const std::string& path) {
   ByteWriter canonical;
   canonical.str("CYL1");
   canonical.uv(kLedgerVersion);
-  const auto header = canonical.bytes();
+  const auto& header = canonical.bytes();
   if (bytes.size() < header.size() &&
       std::equal(bytes.begin(), bytes.end(), header.begin())) {
-    std::filesystem::resize_file(path, 0, ec);
-    CYP_CHECK(!ec, "ledger: cannot truncate torn header in " << path);
+    be.truncate(path, 0);
     LedgerRecovery rec;
     rec.bytesDiscarded = bytes.size();
     return rec;
   }
 
   LedgerRecovery rec = recoverLedger(bytes);
-  if (rec.bytesDiscarded > 0) {
+  if (rec.bytesDiscarded > 0)
     // Truncate the torn tail so a resumed LedgerWriter appends at the
     // segment boundary instead of behind garbage.
-    std::filesystem::resize_file(path, bytes.size() - rec.bytesDiscarded, ec);
-    CYP_CHECK(!ec, "ledger: cannot truncate " << path << " to its valid prefix");
-  }
+    be.truncate(path, bytes.size() - rec.bytesDiscarded);
   return rec;
 }
 

@@ -23,26 +23,29 @@
 #pragma once
 
 #include <cstdint>
-#include <cstdio>
 #include <memory>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "service/protocol.hpp"
+#include "support/io.hpp"
 
 namespace cypress::service {
 
-/// Append-only CYL1 writer. Every append is written and flushed before
+/// Append-only CYL1 writer. Every append is written and fsynced before
 /// returning, so the on-disk stream always ends at a segment boundary
-/// unless the process died mid-write — either way a recoverable prefix.
+/// unless the process died mid-write — either way a recoverable prefix,
+/// and every acknowledged state transition is on the platter.
 class LedgerWriter {
  public:
   /// Opens `path` for appending, writing the header first when the file
   /// is new or empty. Refuses a non-empty file unless `resume` is set
   /// (the recovery path truncates to the valid prefix, then resumes).
-  explicit LedgerWriter(const std::string& path, bool resume = false);
-  ~LedgerWriter();
+  /// All I/O goes through `io` (null = the real backend), so tests can
+  /// inject disk faults into the append path.
+  explicit LedgerWriter(const std::string& path, bool resume = false,
+                        io::IoBackend* io = nullptr);
 
   LedgerWriter(const LedgerWriter&) = delete;
   LedgerWriter& operator=(const LedgerWriter&) = delete;
@@ -59,7 +62,8 @@ class LedgerWriter {
  private:
   void segment(uint8_t kind, const ByteWriter& payload);
 
-  std::FILE* f_ = nullptr;
+  io::IoBackend* io_;
+  std::unique_ptr<io::IoFile> file_;
   uint64_t segments_ = 0;
 };
 
@@ -97,7 +101,8 @@ LedgerRecovery parseLedger(std::span<const uint8_t> data);
 
 /// Read + salvage a ledger file and truncate it to the valid prefix so
 /// a LedgerWriter can resume appending. Returns the recovery; a missing
-/// file yields an empty recovery.
-LedgerRecovery recoverLedgerFile(const std::string& path);
+/// file yields an empty recovery. `io` as in LedgerWriter.
+LedgerRecovery recoverLedgerFile(const std::string& path,
+                                 io::IoBackend* io = nullptr);
 
 }  // namespace cypress::service

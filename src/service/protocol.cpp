@@ -33,7 +33,7 @@ JobKind decodeKind(uint8_t v) {
 }
 
 JobState decodeState(uint8_t v) {
-  CYP_CHECK(v <= static_cast<uint8_t>(JobState::Cancelled),
+  CYP_CHECK(v <= static_cast<uint8_t>(JobState::FailedDisk),
             "protocol: unknown job state " << int(v));
   return static_cast<JobState>(v);
 }
@@ -42,7 +42,7 @@ JobState decodeState(uint8_t v) {
 
 bool isTerminal(JobState s) {
   return s == JobState::Done || s == JobState::Failed ||
-         s == JobState::Cancelled;
+         s == JobState::Cancelled || s == JobState::FailedDisk;
 }
 
 const char* toString(JobKind k) {
@@ -62,6 +62,7 @@ const char* toString(JobState s) {
     case JobState::Done: return "DONE";
     case JobState::Failed: return "FAILED";
     case JobState::Cancelled: return "CANCELLED";
+    case JobState::FailedDisk: return "FAILED_DISK";
   }
   return "?";
 }
@@ -157,6 +158,7 @@ void JobStatus::serialize(ByteWriter& w) const {
   w.str(artifactPath);
   w.str(journalPath);
   w.uv(artifactBytes);
+  w.uv(errnoValue);
 }
 
 JobStatus JobStatus::deserialize(ByteReader& r) {
@@ -168,6 +170,7 @@ JobStatus JobStatus::deserialize(ByteReader& r) {
   s.artifactPath = checkedStr(r);
   s.journalPath = checkedStr(r);
   s.artifactBytes = r.uv();
+  s.errnoValue = static_cast<uint32_t>(r.uv());
   return s;
 }
 
@@ -178,6 +181,7 @@ void Counters::serialize(ByteWriter& w) const {
   w.uv(rejectedClientCap);
   w.uv(done);
   w.uv(failed);
+  w.uv(failedDisk);
   w.uv(cancelled);
   w.uv(retries);
   w.uv(cacheHits);
@@ -192,6 +196,7 @@ Counters Counters::deserialize(ByteReader& r) {
   c.rejectedClientCap = r.uv();
   c.done = r.uv();
   c.failed = r.uv();
+  c.failedDisk = r.uv();
   c.cancelled = r.uv();
   c.retries = r.uv();
   c.cacheHits = r.uv();
@@ -269,6 +274,7 @@ std::vector<uint8_t> Response::encode() const {
     case ResponseCode::RejectedBusy:
     case ResponseCode::Error:
       w.str(message);
+      w.uv(errnoValue);
       break;
     case ResponseCode::Status:
       status.serialize(w);
@@ -304,6 +310,7 @@ Response Response::decode(std::span<const uint8_t> payload) {
     case ResponseCode::RejectedBusy:
     case ResponseCode::Error:
       resp.message = checkedStr(r);
+      resp.errnoValue = static_cast<uint32_t>(r.uv());
       break;
     case ResponseCode::Status:
       resp.status = JobStatus::deserialize(r);

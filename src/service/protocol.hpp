@@ -59,15 +59,22 @@ class FrameDecoder {
 /// them out to the daemon.
 enum class JobKind : uint8_t { Run = 0, Compress = 1, Verify = 2, Recover = 3 };
 
-/// Job lifecycle: ACCEPTED → RUNNING → {DONE, FAILED, CANCELLED}, with
-/// RUNNING → ACCEPTED on a retryable failure (attempt counter bumped,
-/// re-queued after backoff). Done/Failed/Cancelled are terminal.
+/// Job lifecycle: ACCEPTED → RUNNING → {DONE, FAILED, FAILED_DISK,
+/// CANCELLED}, with RUNNING → ACCEPTED on a retryable failure (attempt
+/// counter bumped, re-queued after backoff). Done/Failed/FailedDisk/
+/// Cancelled are terminal.
 enum class JobState : uint8_t {
   Accepted = 0,
   Running = 1,
   Done = 2,
   Failed = 3,
   Cancelled = 4,
+  /// Failed on a disk fault (ENOSPC/EDQUOT/EFBIG, or EIO while writing
+  /// the journal/artifact). Distinct from Failed because it is never
+  /// retried: a full disk fails every attempt identically, so the
+  /// attempt budget is not burned on it. JobStatus::errnoValue carries
+  /// the underlying errno.
+  FailedDisk = 5,
 };
 
 bool isTerminal(JobState s);
@@ -108,6 +115,8 @@ struct JobStatus {
   std::string artifactPath;
   std::string journalPath;
   uint64_t artifactBytes = 0;
+  /// errno of the disk fault behind a FAILED_DISK state (0 otherwise).
+  uint32_t errnoValue = 0;
 
   void serialize(ByteWriter& w) const;
   static JobStatus deserialize(ByteReader& r);
@@ -121,6 +130,7 @@ struct Counters {
   uint64_t rejectedClientCap = 0;  ///< per-client in-flight cap rejections
   uint64_t done = 0;
   uint64_t failed = 0;
+  uint64_t failedDisk = 0;  ///< terminal disk-fault failures (no retries)
   uint64_t cancelled = 0;
   uint64_t retries = 0;
   uint64_t cacheHits = 0;
@@ -169,6 +179,7 @@ struct Response {
   uint32_t helloVersion = kProtocolVersion;  // HelloOk
   uint64_t jobId = 0;                        // Accepted
   std::string message;                       // RejectedBusy/Error
+  uint32_t errnoValue = 0;                   // Error: underlying errno (0 = none)
   JobStatus status;                          // Status
   std::vector<JobStatus> jobs;               // JobList
   struct Counters counters;                  // Counters

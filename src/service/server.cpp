@@ -28,20 +28,6 @@ std::vector<uint8_t> readBytes(const std::string& path) {
   return out;
 }
 
-/// Write atomically: a crash mid-write leaves only the .tmp, never a
-/// half-written artifact under the final name.
-void writeFileAtomic(const std::string& path, std::span<const uint8_t> bytes) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    CYP_CHECK(out.good(), "cannot open " << tmp << " for writing");
-    out.write(reinterpret_cast<const char*>(bytes.data()),
-              static_cast<std::streamsize>(bytes.size()));
-    CYP_CHECK(out.good(), "short write to " << tmp);
-  }
-  fs::rename(tmp, path);
-}
-
 std::string firstLine(const std::string& s) {
   const auto nl = s.find('\n');
   return nl == std::string::npos ? s : s.substr(0, nl);
@@ -56,12 +42,14 @@ std::string describeRanks(const char* what, const std::vector<int>& ranks) {
 }  // namespace
 
 JobServer::JobServer(ServerConfig cfg)
-    : cfg_(std::move(cfg)), cache_(cfg_.cacheCapacity) {
-  fs::create_directories(cfg_.spoolDir);
+    : cfg_(std::move(cfg)),
+      io_(cfg_.io ? cfg_.io : &io::realIo()),
+      cache_(cfg_.cacheCapacity) {
+  io_->createDirectories(cfg_.spoolDir);
   if (cfg_.ledgerPath.empty()) cfg_.ledgerPath = cfg_.spoolDir + "/jobs.cyl";
 
   if (cfg_.recover) {
-    LedgerRecovery rec = recoverLedgerFile(cfg_.ledgerPath);
+    LedgerRecovery rec = recoverLedgerFile(cfg_.ledgerPath, io_);
     nextId_ = rec.maxJobId;
     for (LedgerJob& lj : rec.jobs) {
       Job j;
@@ -83,29 +71,39 @@ JobServer::JobServer(ServerConfig cfg)
         // recorded attempt count.
         const std::string base = jobFileBase(j.id);
         j.detail = "requeued after daemon restart";
-        std::error_code ec;
         const std::string partial = base + ".cyj.partial";
-        if (fs::exists(partial, ec)) {
+        if (io_->exists(partial)) {
+          // IoBackend::rename fsyncs the parent directory, so the
+          // salvage name survives a second crash — the torn-rename
+          // window the plain fs::rename left open.
           const std::string salvage = base + ".cyj.salvage";
-          fs::rename(partial, salvage, ec);
-          if (!ec) {
+          try {
+            io_->rename(partial, salvage);
             j.journalPath = salvage;
             j.detail += "; torn journal kept for `cyptrace recover`: " + salvage;
+          } catch (const Error&) {
+            // Salvage is best-effort: the re-queued job rewrites the
+            // journal from scratch anyway.
           }
         }
-        fs::remove(base + ".cyp.tmp", ec);
-        fs::remove(base + ".flate.tmp", ec);
-        fs::remove(base + ".cytr.tmp", ec);
+        try {
+          io_->remove(base + ".cyp.tmp");
+          io_->remove(base + ".flate.tmp");
+          io_->remove(base + ".cytr.tmp");
+        } catch (const Error&) {
+        }
         j.state = JobState::Accepted;
         queue_.push_back(j.id);
         requeued_.push_back(j.id);
       }
       jobs_.emplace(j.id, std::move(j));
     }
-    ledger_ = std::make_unique<LedgerWriter>(cfg_.ledgerPath, /*resume=*/true);
+    ledger_ = std::make_unique<LedgerWriter>(cfg_.ledgerPath, /*resume=*/true,
+                                             io_);
     for (uint64_t id : requeued_) ledgerState(jobs_.at(id));
   } else {
-    ledger_ = std::make_unique<LedgerWriter>(cfg_.ledgerPath, /*resume=*/false);
+    ledger_ = std::make_unique<LedgerWriter>(cfg_.ledgerPath, /*resume=*/false,
+                                             io_);
   }
 }
 
@@ -278,6 +276,7 @@ JobStatus JobServer::snapshot(const Job& j) const {
   s.artifactPath = j.artifactPath;
   s.journalPath = j.journalPath;
   s.artifactBytes = j.artifactBytes;
+  s.errnoValue = j.errnoValue;
   return s;
 }
 
@@ -365,6 +364,13 @@ void JobServer::executeJob(uint64_t id, uint32_t attempt) {
   AttemptResult res;
   try {
     res = runAttempt(spec, id, attempt, *flag);
+  } catch (const io::IoError& e) {
+    // Disk faults are their own failure class: terminal (retrying a
+    // full disk fails identically) and carrying the errno to the
+    // client so tooling can react to ENOSPC specifically.
+    res.outcome = Outcome::Disk;
+    res.errnoValue = static_cast<uint32_t>(e.errnum());
+    res.detail = firstLine(e.what());
   } catch (const std::exception& e) {
     res.outcome = Outcome::Permanent;
     res.detail = firstLine(e.what());
@@ -414,25 +420,16 @@ JobServer::AttemptResult JobServer::runAttempt(
           opts.engine.faults.faults.push_back(simmpi::parseFaultSpec(f));
 
       // Stream the journal to disk as it grows: a daemon crash mid-run
-      // leaves a salvageable torn .partial instead of nothing.
+      // leaves a salvageable torn .partial instead of nothing. The
+      // durable sink fsyncs each flushed segment, so what the file
+      // promises to `cyptrace recover` is actually on the platter.
       opts.withJournal = true;
       opts.journalFlushEvery = 16;
       const std::string partial = base + ".cyj.partial";
-      std::FILE* jf = std::fopen(partial.c_str(), "wb");
-      CYP_CHECK(jf != nullptr, "cannot open " << partial);
-      opts.journalSink = [jf](std::span<const uint8_t> chunk) {
-        std::fwrite(chunk.data(), 1, chunk.size(), jf);
-        std::fflush(jf);
-      };
+      opts.journalSink = trace::durableFileSink(*io_, partial);
 
-      driver::RunOutput run;
-      try {
-        run = driver::runSource(spec.target, source, opts);
-      } catch (...) {
-        std::fclose(jf);
-        throw;
-      }
-      std::fclose(jf);
+      driver::RunOutput run = driver::runSource(spec.target, source, opts);
+      opts.journalSink = nullptr;  // close the .partial before renaming it
 
       if (run.runStats.cancelled) {
         res.outcome = Outcome::Cancelled;  // finishAttempt tells user
@@ -456,10 +453,10 @@ JobServer::AttemptResult JobServer::runAttempt(
           driver::mergeCypress(run, nullptr, cfg_.threadsPerJob);
       const auto bytes = merged.serialize();
       res.artifactPath = base + ".cyp";
-      writeFileAtomic(res.artifactPath, bytes);
+      io::writeFileAtomic(*io_, res.artifactPath, bytes);
       res.artifactBytes = bytes.size();
       res.journalPath = base + ".cyj";
-      fs::rename(partial, res.journalPath);
+      io_->rename(partial, res.journalPath);
 
       if (run.runStats.deadRanks.empty()) {
         res.outcome = Outcome::Ok;
@@ -480,7 +477,7 @@ JobServer::AttemptResult JobServer::runAttempt(
       const auto packed =
           flate::compress(input, flate::Level::Default, cfg_.threadsPerJob);
       res.artifactPath = base + ".flate";
-      writeFileAtomic(res.artifactPath, packed);
+      io::writeFileAtomic(*io_, res.artifactPath, packed);
       res.artifactBytes = packed.size();
       res.outcome = Outcome::Ok;
       res.detail = std::to_string(input.size()) + " -> " +
@@ -506,7 +503,7 @@ JobServer::AttemptResult JobServer::runAttempt(
       const trace::JournalRecovery rec = trace::recoverJournal(input);
       const auto raw = rec.trace.serialize();
       res.artifactPath = base + ".cytr";
-      writeFileAtomic(res.artifactPath, raw);
+      io::writeFileAtomic(*io_, res.artifactPath, raw);
       res.artifactBytes = raw.size();
       res.outcome = rec.lossy() ? Outcome::OkDegraded : Outcome::Ok;
       res.detail = "salvaged " + std::to_string(rec.segmentsRecovered) +
@@ -554,6 +551,12 @@ void JobServer::finishAttempt(uint64_t id, AttemptResult res) {
       j.state = JobState::Failed;
       j.detail = res.detail;
       ++counters_.failed;
+      break;
+    case Outcome::Disk:
+      j.state = JobState::FailedDisk;
+      j.detail = res.detail;
+      j.errnoValue = res.errnoValue;
+      ++counters_.failedDisk;
       break;
     case Outcome::Cancelled:
       j.state = JobState::Cancelled;

@@ -80,6 +80,10 @@ struct ServerConfig {
   /// non-empty ledger is refused.
   bool recover = false;
   size_t cacheCapacity = 16;
+  /// Backend for every durable write the server performs (ledger,
+  /// journals, artifacts). Null = the real filesystem; tests inject a
+  /// FaultyIoBackend here to drive the disk-fault failure class.
+  io::IoBackend* io = nullptr;
 };
 
 /// The in-process job server. Protocol-agnostic: Session (service/
@@ -139,6 +143,7 @@ class JobServer {
     Permanent,   ///< not retryable (bad spec, compile error, verify fail)
     Cancelled,   ///< user cancel or server shutdown
     Deadline,    ///< watchdog expired the attempt
+    Disk,        ///< disk fault (ENOSPC/EIO) — terminal, never retried
   };
 
   struct Job {
@@ -153,6 +158,7 @@ class JobServer {
     std::string artifactPath;
     std::string journalPath;
     uint64_t artifactBytes = 0;
+    uint32_t errnoValue = 0;  ///< errno behind a FAILED_DISK state
     std::chrono::steady_clock::time_point notBefore{};  ///< backoff gate
     std::chrono::steady_clock::time_point runStart{};
     std::shared_ptr<std::atomic<bool>> cancelFlag;  ///< current attempt
@@ -167,6 +173,7 @@ class JobServer {
     std::string artifactPath;
     std::string journalPath;
     uint64_t artifactBytes = 0;
+    uint32_t errnoValue = 0;  ///< set with Outcome::Disk
   };
 
   void dispatchLoop();
@@ -183,6 +190,7 @@ class JobServer {
   void ledgerState(const Job& j);
 
   ServerConfig cfg_;
+  io::IoBackend* io_;  ///< resolved from cfg_.io (never null)
   ProgramCache cache_;
 
   mutable std::mutex mu_;

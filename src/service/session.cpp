@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "support/error.hpp"
+#include "support/io.hpp"
 
 namespace cypress::service {
 
@@ -24,6 +25,8 @@ std::vector<uint8_t> Session::consume(std::span<const uint8_t> bytes) {
     Response resp;
     resp.code = ResponseCode::Error;
     resp.message = e.what();
+    if (const auto* ioe = dynamic_cast<const io::IoError*>(&e))
+      resp.errnoValue = static_cast<uint32_t>(ioe->errnum());
     const auto frame = encodeFrame(resp.encode());
     out.insert(out.end(), frame.begin(), frame.end());
     closed_ = true;

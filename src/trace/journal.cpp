@@ -1,6 +1,7 @@
 #include "trace/journal.hpp"
 
 #include <algorithm>
+#include <memory>
 
 #include "flate/flate.hpp"
 #include "support/error.hpp"
@@ -91,6 +92,15 @@ void JournalRecorder::onFinalize() {
   flush();
   builder_.appendFinalize(rank_);
   finalized_ = true;
+}
+
+JournalBuilder::Sink durableFileSink(io::IoBackend& io,
+                                     const std::string& path) {
+  std::shared_ptr<io::IoFile> file = io.openWrite(path);
+  return [file](std::span<const uint8_t> chunk) {
+    file->write(chunk);
+    file->sync();
+  };
 }
 
 std::vector<int> JournalRecovery::unfinalizedRanks() const {

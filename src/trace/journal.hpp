@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "support/bytebuf.hpp"
+#include "support/io.hpp"
 #include "support/rank_set.hpp"
 #include "trace/event.hpp"
 #include "trace/observer.hpp"
@@ -111,6 +112,18 @@ class JournalRecorder final : public Observer {
   uint64_t eventsSeen_ = 0;
   bool finalized_ = false;
 };
+
+/// Build a JournalBuilder sink that appends every chunk to `path`
+/// through `io` with a write + fsync per chunk — the canonical durable
+/// journal sink. fsync per segment is what upgrades the format's
+/// "recoverable after any torn prefix" promise from surviving a process
+/// kill to surviving a power cut; callers that only need kill-safety
+/// still pay one syncs-per-flush, which the flushEvery batching
+/// amortizes. The returned sink owns the open file (closed when the
+/// last copy of the sink is destroyed) and propagates io::IoError from
+/// the write path into the tracer.
+JournalBuilder::Sink durableFileSink(io::IoBackend& io,
+                                     const std::string& path);
 
 /// The result of reading a CYJ1 journal.
 struct JournalRecovery {

@@ -9,6 +9,7 @@
 // via the shared corruption fuzzer: cypress::Error or clean decode,
 // nothing else.
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <filesystem>
 
@@ -30,8 +31,12 @@ namespace fs = std::filesystem;
 /// traced run.
 struct FuzzServer {
   FuzzServer() {
+    // pid suffix: parallel ctest runs each case in its own process, and
+    // two servers racing over one spool trip the ledger's fresh check.
     const std::string dir =
-        (fs::temp_directory_path() / "cyp_service_fuzz").string();
+        (fs::temp_directory_path() /
+         ("cyp_service_fuzz." + std::to_string(getpid())))
+            .string();
     fs::remove_all(dir);
     ServerConfig cfg;
     cfg.spoolDir = dir;

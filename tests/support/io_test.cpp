@@ -1,0 +1,261 @@
+// IoBackend / fault-injection tests: the real backend's atomic-write
+// discipline, the fault-spec grammar, and the FaultyIoBackend's
+// deterministic per-spec counters — the machinery every disk-fault
+// suite in the repo builds on.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <filesystem>
+#include <fstream>
+
+#include "support/error.hpp"
+#include "support/io.hpp"
+
+namespace cypress::io {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string freshDir(const std::string& name) {
+  // pid suffix: parallel ctest runs each case in its own process.
+  const std::string dir =
+      (fs::temp_directory_path() / (name + "." + std::to_string(getpid())))
+          .string();
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir;
+}
+
+std::vector<uint8_t> bytesOf(const std::string& s) {
+  return std::vector<uint8_t>(s.begin(), s.end());
+}
+
+TEST(Io, RealBackendRoundtrip) {
+  const std::string dir = freshDir("cyp_io_rt");
+  IoBackend& be = realIo();
+  const auto payload = bytesOf("hello, durable world");
+
+  {
+    auto f = be.openWrite(dir + "/a.bin");
+    f->write(payload);
+    f->sync();
+    f->close();
+  }
+  EXPECT_TRUE(be.exists(dir + "/a.bin"));
+  EXPECT_EQ(be.fileSize(dir + "/a.bin"), payload.size());
+  EXPECT_EQ(be.readAll(dir + "/a.bin"), payload);
+
+  be.rename(dir + "/a.bin", dir + "/b.bin");
+  EXPECT_FALSE(be.exists(dir + "/a.bin"));
+  EXPECT_EQ(be.readAll(dir + "/b.bin"), payload);
+
+  be.truncate(dir + "/b.bin", 5);
+  EXPECT_EQ(be.readAll(dir + "/b.bin"), bytesOf("hello"));
+
+  be.remove(dir + "/b.bin");
+  EXPECT_FALSE(be.exists(dir + "/b.bin"));
+  // Removing a missing file is not an error (idempotent cleanup).
+  EXPECT_NO_THROW(be.remove(dir + "/b.bin"));
+
+  EXPECT_THROW(be.readAll(dir + "/missing.bin"), IoError);
+}
+
+TEST(Io, AppendMode) {
+  const std::string dir = freshDir("cyp_io_append");
+  IoBackend& be = realIo();
+  {
+    auto f = be.openWrite(dir + "/log", /*append=*/false);
+    f->write(bytesOf("one"));
+  }
+  {
+    auto f = be.openWrite(dir + "/log", /*append=*/true);
+    f->write(bytesOf("two"));
+  }
+  EXPECT_EQ(be.readAll(dir + "/log"), bytesOf("onetwo"));
+  {
+    // Non-append reopen truncates.
+    auto f = be.openWrite(dir + "/log", /*append=*/false);
+    f->write(bytesOf("three"));
+  }
+  EXPECT_EQ(be.readAll(dir + "/log"), bytesOf("three"));
+}
+
+TEST(Io, ParseFaultSpecGrammar) {
+  IoFaultSpec f = parseIoFaultSpec("enospc@3");
+  EXPECT_EQ(f.kind, IoFaultSpec::Kind::Enospc);
+  EXPECT_EQ(f.at, 3u);
+  EXPECT_TRUE(f.pathSubstr.empty());
+
+  f = parseIoFaultSpec("rename@2:merge.cym");
+  EXPECT_EQ(f.kind, IoFaultSpec::Kind::TornRename);
+  EXPECT_EQ(f.at, 2u);
+  EXPECT_EQ(f.pathSubstr, "merge.cym");
+
+  EXPECT_EQ(parseIoFaultSpec("eio@1").kind, IoFaultSpec::Kind::Eio);
+  EXPECT_EQ(parseIoFaultSpec("short@1").kind, IoFaultSpec::Kind::ShortWrite);
+  EXPECT_EQ(parseIoFaultSpec("fsync@1").kind, IoFaultSpec::Kind::FsyncFail);
+
+  EXPECT_THROW(parseIoFaultSpec(""), Error);
+  EXPECT_THROW(parseIoFaultSpec("enospc"), Error);
+  EXPECT_THROW(parseIoFaultSpec("@3"), Error);
+  EXPECT_THROW(parseIoFaultSpec("frobnicate@1"), Error);
+  EXPECT_THROW(parseIoFaultSpec("enospc@0"), Error);  // ordinals are 1-based
+}
+
+TEST(Io, IsDiskFullClassification) {
+  EXPECT_TRUE(isDiskFull(ENOSPC));
+  EXPECT_TRUE(isDiskFull(EDQUOT));
+  EXPECT_TRUE(isDiskFull(EFBIG));
+  EXPECT_FALSE(isDiskFull(EIO));
+  EXPECT_FALSE(isDiskFull(0));
+}
+
+TEST(Io, EnospcFaultLandsHalfThenThrows) {
+  const std::string dir = freshDir("cyp_io_enospc");
+  FaultyIoBackend be(realIo(), {parseIoFaultSpec("enospc@2")});
+
+  const auto chunk = bytesOf("0123456789");  // 10 bytes, half = 5
+  auto f = be.openWrite(dir + "/x");
+  f->write(chunk);  // write #1 passes through
+  try {
+    f->write(chunk);  // write #2: injected ENOSPC
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.errnum(), ENOSPC);
+    EXPECT_TRUE(isDiskFull(e.errnum()));
+  }
+  f->close();
+  // The realistic torn state: all of write #1, half of write #2.
+  EXPECT_EQ(realIo().readAll(dir + "/x"), bytesOf("012345678901234"));
+  EXPECT_EQ(be.writesSeen(), 2u);
+  EXPECT_EQ(be.faultsFired(), 1u);
+}
+
+TEST(Io, EioFaultLandsNothing) {
+  const std::string dir = freshDir("cyp_io_eio");
+  FaultyIoBackend be(realIo(), {parseIoFaultSpec("eio@1")});
+  auto f = be.openWrite(dir + "/x");
+  try {
+    f->write(bytesOf("doomed"));
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.errnum(), EIO);
+  }
+  f->close();
+  EXPECT_EQ(realIo().fileSize(dir + "/x"), 0u);
+}
+
+TEST(Io, FsyncFaultFiresOnSyncOnly) {
+  const std::string dir = freshDir("cyp_io_fsync");
+  FaultyIoBackend be(realIo(), {parseIoFaultSpec("fsync@1")});
+  auto f = be.openWrite(dir + "/x");
+  EXPECT_NO_THROW(f->write(bytesOf("data")));  // writes unaffected
+  EXPECT_THROW(f->sync(), IoError);
+  EXPECT_EQ(be.syncsSeen(), 1u);
+  EXPECT_EQ(be.faultsFired(), 1u);
+}
+
+TEST(Io, PathFilteredCountersAreIndependent) {
+  // Each spec counts only the operations whose path matches it, so a
+  // fault on the Nth write of one file is unaffected by traffic to
+  // other files — this is what lets a test target "the b2 spill"
+  // without knowing the global I/O schedule.
+  const std::string dir = freshDir("cyp_io_filter");
+  FaultyIoBackend be(realIo(), {parseIoFaultSpec("eio@2:target")});
+
+  auto noise = be.openWrite(dir + "/noise");
+  auto target = be.openWrite(dir + "/target");
+  const auto b = bytesOf("x");
+  // Lots of non-matching traffic, which must not advance the counter.
+  for (int i = 0; i < 10; ++i) noise->write(b);
+  EXPECT_NO_THROW(target->write(b));  // matching op #1
+  for (int i = 0; i < 10; ++i) noise->write(b);
+  EXPECT_THROW(target->write(b), IoError);  // matching op #2 → fires
+  EXPECT_EQ(be.faultsFired(), 1u);
+}
+
+TEST(Io, TornRenameTruncatesSourceButReportsSuccess) {
+  const std::string dir = freshDir("cyp_io_torn");
+  FaultyIoBackend be(realIo(), {parseIoFaultSpec("rename@1:final")});
+  {
+    auto f = be.openWrite(dir + "/tmp");
+    f->write(bytesOf("0123456789"));
+    f->sync();
+  }
+  // The lying filesystem: rename "succeeds" but the data lost its tail.
+  EXPECT_NO_THROW(be.rename(dir + "/tmp", dir + "/final"));
+  EXPECT_TRUE(be.exists(dir + "/final"));
+  EXPECT_EQ(be.readAll(dir + "/final"), bytesOf("01234"));
+}
+
+TEST(Io, AtomicWriterNoFileUntilCommit) {
+  const std::string dir = freshDir("cyp_io_atomic");
+  IoBackend& be = realIo();
+  const std::string path = dir + "/artifact.bin";
+  {
+    AtomicFileWriter w(be, path);
+    w.write(bytesOf("partial "));
+    w.write(bytesOf("content"));
+    EXPECT_FALSE(be.exists(path));  // nothing under the final name yet
+    w.commit();
+    EXPECT_TRUE(be.exists(path));
+  }
+  EXPECT_EQ(be.readAll(path), bytesOf("partial content"));
+  // The tmp file is gone after commit.
+  EXPECT_FALSE(be.exists(path + ".tmp"));
+}
+
+TEST(Io, AtomicWriterAbandonLeavesNoFinalFile) {
+  const std::string dir = freshDir("cyp_io_abandon");
+  IoBackend& be = realIo();
+  const std::string path = dir + "/artifact.bin";
+  {
+    AtomicFileWriter w(be, path);
+    w.write(bytesOf("doomed"));
+    // No commit: destructor must clean up, not publish.
+  }
+  EXPECT_FALSE(be.exists(path));
+  EXPECT_FALSE(be.exists(path + ".tmp"));
+}
+
+TEST(Io, AtomicWriterFaultNeverPublishes) {
+  // Whatever fault hits the tmp stream — write, fsync, even a torn
+  // rename of the commit itself is out of scope here — the final path
+  // must never hold a torn file.
+  const std::string dir = freshDir("cyp_io_atomic_fault");
+  for (const char* spec : {"enospc@1", "eio@1", "short@1", "fsync@1"}) {
+    FaultyIoBackend be(realIo(), {parseIoFaultSpec(spec)});
+    const std::string path = dir + "/out-" + std::string(spec).substr(0, 3);
+    EXPECT_THROW(writeFileAtomic(be, path, bytesOf("payload")), IoError)
+        << spec;
+    EXPECT_FALSE(realIo().exists(path)) << spec;
+  }
+}
+
+TEST(Io, WriteFileAtomicRoundtrip) {
+  const std::string dir = freshDir("cyp_io_wfa");
+  const auto payload = bytesOf("atomic payload");
+  writeFileAtomic(realIo(), dir + "/x", payload);
+  EXPECT_EQ(realIo().readAll(dir + "/x"), payload);
+}
+
+TEST(Io, CreateDirectoriesIsIdempotent) {
+  const std::string dir = freshDir("cyp_io_mkdir");
+  IoBackend& be = realIo();
+  EXPECT_NO_THROW(be.createDirectories(dir + "/a/b/c"));
+  EXPECT_NO_THROW(be.createDirectories(dir + "/a/b/c"));
+  writeFileAtomic(be, dir + "/a/b/c/f", bytesOf("x"));
+  EXPECT_TRUE(be.exists(dir + "/a/b/c/f"));
+}
+
+TEST(Io, PeakRssIsPlausible) {
+  const uint64_t rss = peakRssBytes();
+  // Any live process has at least a few pages resident; the exact value
+  // is platform noise, but zero means the probe is broken.
+  EXPECT_GT(rss, 64u * 1024);
+}
+
+}  // namespace
+}  // namespace cypress::io

@@ -12,6 +12,19 @@
 //       Salvage a (possibly torn) CYJ1 journal: replay intact segments,
 //       report lost/unfinalized ranks, optionally write the recovered
 //       raw trace.
+//   cyptrace merge <rankdir> [--out F.cyp] [--merge-budget BYTES]
+//                  [--batch-ranks N] [--work-dir D] [--resume] [--degrade]
+//                  [--io-fault SPEC]... [--crash-after-steps N] [--keep-work]
+//       Memory-bounded streaming merge of a rank-trace directory (as
+//       written by `run --emit-ranks`) into one merged CYPC. Spills
+//       intermediates to --work-dir as crash-consistent CYSP files and
+//       checkpoints each completed step in a CYM1 manifest, so after a
+//       kill -9 or a disk fault `merge --resume` continues from the
+//       last durable step and produces a byte-identical trace.
+//       --io-fault injects deterministic disk faults
+//       (enospc@N | eio@N | short@N | fsync@N | rename@N, each with an
+//       optional :pathSubstr filter); --degrade turns unrecoverable
+//       disk faults into lostRanks annotations instead of errors.
 //   cyptrace info <F.cyp>
 //       Show the embedded CST and per-tool statistics of a trace file.
 //   cyptrace dump <F.cyp> --rank R [--limit N] [--otf]
@@ -42,8 +55,10 @@
 
 #include "cypress/decompress.hpp"
 #include "cypress/diff.hpp"
+#include "cypress/merge_stream.hpp"
 #include "driver/pipeline.hpp"
 #include "flate/flate.hpp"
+#include "support/io.hpp"
 #include "replay/simulator.hpp"
 #include "support/strings.hpp"
 #include "support/thread_pool.hpp"
@@ -74,6 +89,15 @@ struct Args {
   std::vector<std::string> faultSpecs;
   std::string journal;
   bool salvage = false;
+  std::string emitRanks;
+  uint64_t mergeBudget = 256ull << 20;
+  uint64_t batchRanks = 0;
+  std::string workDir;
+  bool resume = false;
+  bool degrade = false;
+  bool keepWork = false;
+  std::vector<std::string> ioFaults;
+  uint64_t crashAfterSteps = 0;
 };
 
 [[noreturn]] void usage() {
@@ -81,8 +105,14 @@ struct Args {
                "usage:\n"
                "  cyptrace run <workload|file.mc> --procs N [--scale S] [--threads T]\n"
                "               [--out F.cyp] [--fault SPEC]... [--journal F.cyj] [--salvage]\n"
+               "               [--emit-ranks DIR]\n"
                "               (SPEC: kill:R@N | abort:R@N | drop:R@N | delay:R@N:NS)\n"
                "  cyptrace recover <F.cyj> [--out F.cytr]\n"
+               "  cyptrace merge <rankdir> [--out F.cyp] [--merge-budget BYTES[k|m|g]]\n"
+               "               [--batch-ranks N] [--work-dir D] [--resume] [--degrade]\n"
+               "               [--io-fault SPEC]... [--crash-after-steps N] [--keep-work]\n"
+               "               (SPEC: enospc@N | eio@N | short@N | fsync@N | rename@N,\n"
+               "                each optionally :pathSubstr)\n"
                "  cyptrace info <F.cyp>\n"
                "  cyptrace dump <F.cyp> [--rank R] [--limit N] [--otf]\n"
                "  cyptrace replay <F.cyp> [--net ib|eth]\n"
@@ -95,6 +125,20 @@ struct Args {
   for (const auto& n : workloads::allNames()) std::fprintf(stderr, "%s ", n.c_str());
   std::fprintf(stderr, "\n");
   std::exit(2);
+}
+
+/// Parse "64m"/"1g"-style byte counts (bare numbers are bytes).
+uint64_t parseByteCount(const std::string& s) {
+  CYP_CHECK(!s.empty(), "empty byte count");
+  uint64_t mult = 1;
+  std::string num = s;
+  switch (s.back()) {
+    case 'k': case 'K': mult = 1ull << 10; num.pop_back(); break;
+    case 'm': case 'M': mult = 1ull << 20; num.pop_back(); break;
+    case 'g': case 'G': mult = 1ull << 30; num.pop_back(); break;
+    default: break;
+  }
+  return std::stoull(num) * mult;
 }
 
 Args parse(int argc, char** argv) {
@@ -127,6 +171,15 @@ Args parse(int argc, char** argv) {
     else if (flag == "--fault") a.faultSpecs.push_back(value());
     else if (flag == "--journal") a.journal = value();
     else if (flag == "--salvage") a.salvage = true;
+    else if (flag == "--emit-ranks") a.emitRanks = value();
+    else if (flag == "--merge-budget") a.mergeBudget = parseByteCount(value());
+    else if (flag == "--batch-ranks") a.batchRanks = std::stoull(value());
+    else if (flag == "--work-dir") a.workDir = value();
+    else if (flag == "--resume") a.resume = true;
+    else if (flag == "--degrade") a.degrade = true;
+    else if (flag == "--keep-work") a.keepWork = true;
+    else if (flag == "--io-fault") a.ioFaults.push_back(value());
+    else if (flag == "--crash-after-steps") a.crashAfterSteps = std::stoull(value());
     else usage();
   }
   return a;
@@ -159,6 +212,7 @@ driver::RunOutput runTarget(const Args& a, bool allTools) {
   opts.threads = a.threads;
   opts.withScala = allTools;
   opts.withScala2 = allTools;
+  opts.emitRankTraces = !a.emitRanks.empty();
   for (const std::string& spec : a.faultSpecs)
     opts.engine.faults.faults.push_back(simmpi::parseFaultSpec(spec));
   opts.withJournal = !a.journal.empty();
@@ -175,7 +229,9 @@ int cmdRun(const Args& a) {
   core::MergedCtt merged = driver::mergeCypress(run, nullptr, a.threads);
   const auto bytes = merged.serialize();
   const std::string out = a.out.empty() ? a.target + ".cyp" : a.out;
-  writeFile(out, bytes);
+  // Artifacts land atomically (tmp + fsync + rename): a kill mid-write
+  // never leaves a torn file under the final name.
+  io::writeFileAtomic(io::realIo(), out, bytes);
   std::printf("traced %s on %d ranks: %zu events -> %s (%s)\n", a.target.c_str(),
               a.procs, run.raw.totalEvents(), out.c_str(),
               humanBytes(bytes.size()).c_str());
@@ -190,12 +246,64 @@ int cmdRun(const Args& a) {
                 merged.lostRanks().size());
   }
   if (run.journal != nullptr) {
-    writeFile(a.journal, run.journal->bytes());
+    io::writeFileAtomic(io::realIo(), a.journal, run.journal->bytes());
     std::printf("journal: %s (%s, %llu events, sealed)\n", a.journal.c_str(),
                 humanBytes(run.journal->bytes().size()).c_str(),
                 static_cast<unsigned long long>(run.journal->totalEvents()));
   }
+  if (!a.emitRanks.empty()) {
+    const RankSet lost = driver::writeRankTraces(run, a.emitRanks);
+    std::printf("rank traces: %s (%d ranks, %zu lost)\n", a.emitRanks.c_str(),
+                a.procs, lost.size());
+  }
   return 0;
+}
+
+int cmdMerge(const Args& a) {
+  // An --io-fault plan wraps the real backend in the deterministic
+  // injector; every durable byte of the merge then flows through it.
+  io::IoBackend* io = &io::realIo();
+  std::unique_ptr<io::FaultyIoBackend> faulty;
+  if (!a.ioFaults.empty()) {
+    std::vector<io::IoFaultSpec> plan;
+    plan.reserve(a.ioFaults.size());
+    for (const std::string& s : a.ioFaults)
+      plan.push_back(io::parseIoFaultSpec(s));
+    faulty = std::make_unique<io::FaultyIoBackend>(io::realIo(),
+                                                   std::move(plan));
+    io = faulty.get();
+  }
+
+  const driver::RankTraceDir ranks = driver::openRankTraceDir(a.target, io);
+  core::StreamingMergeOptions mo;
+  mo.budgetBytes = a.mergeBudget;
+  mo.maxBatchRanks = a.batchRanks;
+  mo.workDir = a.workDir.empty() ? a.target + "/merge.work" : a.workDir;
+  mo.io = io;
+  mo.resume = a.resume;
+  mo.degrade = a.degrade;
+  mo.keepWorkDir = a.keepWork;
+  mo.crashAfterSteps = a.crashAfterSteps;
+  mo.outPath = a.out.empty() ? a.target + ".cyp" : a.out;
+
+  const core::StreamingMergeResult res = core::streamingMerge(
+      ranks.numRanks, [&](int r) { return ranks.load(r); }, *ranks.cst, mo);
+
+  std::printf("merged %d ranks -> %s (%s)\n", ranks.numRanks,
+              mo.outPath.c_str(),
+              humanBytes(io->fileSize(mo.outPath)).c_str());
+  std::printf("plan: %llu batches, %llu reduction rounds; "
+              "%llu steps executed, %llu resumed from checkpoint\n",
+              static_cast<unsigned long long>(res.batches),
+              static_cast<unsigned long long>(res.reductionRounds),
+              static_cast<unsigned long long>(res.stepsExecuted),
+              static_cast<unsigned long long>(res.stepsResumed));
+  if (!res.merged.lostRanks().empty())
+    std::printf("partial trace: %zu lost rank(s), %zu dropped by disk "
+                "faults\n",
+                res.merged.lostRanks().size(), res.droppedRanks.size());
+  // Degraded coverage surfaces in the exit code (mirrors `recover`).
+  return res.droppedRanks.empty() ? 0 : 3;
 }
 
 int cmdRecover(const Args& a) {
@@ -396,6 +504,7 @@ int main(int argc, char** argv) {
     ThreadPool::configureShared(static_cast<unsigned>(std::max(1, a.threads)));
     if (a.command == "run") return cmdRun(a);
     if (a.command == "recover") return cmdRecover(a);
+    if (a.command == "merge") return cmdMerge(a);
     if (a.command == "info") return cmdInfo(a);
     if (a.command == "dump") return cmdDump(a);
     if (a.command == "replay") return cmdReplay(a);
