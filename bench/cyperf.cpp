@@ -4,7 +4,13 @@
 // build, merge, serialize, flate) on fig15 NPB workloads at procs >= 32
 // for threads in {1,2,4,8}, prints a table, and writes
 // BENCH_pipeline.json so future changes have a perf trajectory to
-// regress against. The traced run fans its epoch-local phases out on
+// regress against. The post-run stages use the streaming sink chain
+// (flate::StreamingCompressor over serializeTo) — the same dataflow the
+// driver ships — so no stage materializes a full serialized trace; the
+// rss_peak_kb trajectory regresses that property. Two extra sections:
+// a streamed-vs-materialized head-to-head on the biggest payload, and a
+// compressed-size-vs-P sweep (64/512/4096) against the ScalaTrace and
+// gzip baselines. The traced run fans its epoch-local phases out on
 // the shared pool (vm/runner.hpp), as do all post-run stages; rows
 // where threads exceed hardware_concurrency are flagged (`*`, and
 // "oversubscribed" in the JSON) since they cannot show real scaling.
@@ -18,7 +24,9 @@
 #include "bench_util.hpp"
 #include "cst/builder.hpp"
 #include "cypress/merge.hpp"
+#include "driver/pipeline.hpp"
 #include "flate/flate.hpp"
+#include "flate/stream.hpp"
 #include "minic/compile.hpp"
 #include "support/io.hpp"
 #include "support/thread_pool.hpp"
@@ -86,11 +94,18 @@ Stages timeOnce(const std::string& name, int procs, int threads) {
   t.run = sw.seconds();
   t.rssKb[1] = io::peakRssBytes() >> 10;
 
-  // build: per-rank CYPP trace files (serialize + compress, pool tasks).
+  // build: per-rank CYPP trace files, streamed serialize→compress per
+  // rank (pool tasks) — the CTT byte stream never exists whole.
   sw.restart();
   std::vector<std::vector<uint8_t>> rankFiles(static_cast<size_t>(procs));
   parallelFor(static_cast<size_t>(procs), threads, [&](size_t r) {
-    rankFiles[r] = flate::compress(cypress[r]->ctt().serialize());
+    VectorSink sink;
+    flate::StreamingCompressor sc(sink);
+    ByteWriter w(sc);
+    cypress[r]->ctt().serializeTo(w);
+    w.flush();
+    sc.finish();
+    rankFiles[r] = sink.take();
   });
   t.build = sw.seconds();
   t.rssKb[2] = io::peakRssBytes() >> 10;
@@ -103,22 +118,48 @@ Stages timeOnce(const std::string& name, int procs, int threads) {
   t.merge = sw.seconds();
   t.rssKb[3] = io::peakRssBytes() >> 10;
 
-  // serialize: merged CYPC + raw CYTR byte streams.
+  // serialize: walk the merged CYPC + raw CYTR producers through a
+  // counting sink — the serialization work without any buffer.
   sw.restart();
-  const auto mergedBytes = merged.serialize();
-  const auto rawBytes = raw.serialize();
+  size_t mergedSize = 0, rawSize = 0;
+  {
+    NullSink null;
+    ByteWriter w(null);
+    merged.serializeTo(w);
+    w.flush();
+    mergedSize = w.size();
+  }
+  {
+    NullSink null;
+    ByteWriter w(null);
+    raw.serializeTo(w);
+    w.flush();
+    rawSize = w.size();
+  }
   t.serialize = sw.seconds();
   t.rssKb[4] = io::peakRssBytes() >> 10;
 
-  // flate: the general-purpose codec over both streams (sharded).
+  // flate: the fused serialize→compress chain over both producers —
+  // includes a second serialization walk (the price of never holding
+  // the stream), shards overlapping with it on `threads` lanes.
   sw.restart();
-  const auto gz = flate::compress(rawBytes, flate::Level::Default, threads);
-  const auto cypGz = flate::compress(mergedBytes, flate::Level::Default, threads);
+  auto streamFlate = [threads](const auto& producer) {
+    NullSink null;
+    flate::StreamingCompressor sc(null, flate::Level::Default, threads);
+    ByteWriter w(sc);
+    producer.serializeTo(w);
+    w.flush();
+    return sc.finish();
+  };
+  const auto gz = streamFlate(raw);
+  const auto cypGz = streamFlate(merged);
   t.flate = sw.seconds();
   t.rssKb[5] = io::peakRssBytes() >> 10;
   (void)gz;
   (void)cypGz;
   (void)rankFiles;
+  (void)mergedSize;
+  (void)rawSize;
   return t;
 }
 
@@ -226,6 +267,109 @@ int main(int argc, char** argv) {
     std::fputs(buf, stdout);
   }
   ThreadPool::configureShared(hw);  // restore the default-sized pool
+  json += "\n  ],\n";
+
+  // -- streamed vs materialized: the same serialize+compress work on the
+  // biggest payload (the raw CYTR stream), head-to-head. Streamed fuses
+  // the serialization walk into the compressor through a sink; the
+  // materialized path builds the full byte vector first, as the
+  // pipeline did before the streaming dataflow landed. Outputs must be
+  // byte-identical; only footprint and overlap differ. (RSS marks here
+  // are polluted by the stage rows above — the regressable memory
+  // numbers are the first row's rss_peak_kb.)
+  bench::header("cyperf — streamed vs materialized serialize+compress",
+                "identical output bytes; streamed never holds the stream");
+  bench::row({"threads", "payload", "streamed", "materialized", "ratio"});
+  driver::Options svmOpts;
+  svmOpts.procs = 64;
+  svmOpts.withScala = false;
+  svmOpts.withScala2 = false;
+  const driver::RunOutput svmRun = driver::runWorkload("CG", svmOpts);
+  const auto svmPayload = svmRun.raw.serialize();
+  bool svmIdentical = true;
+  {
+    VectorSink sink;
+    flate::StreamingCompressor sc(sink);
+    ByteWriter w(sc);
+    svmRun.raw.serializeTo(w);
+    w.flush();
+    sc.finish();
+    svmIdentical = sink.take() == flate::compress(svmPayload);
+  }
+  json += "  \"streaming_vs_materialized\": {\"workload\": \"CG\", "
+          "\"procs\": 64, \"payload_bytes\": " +
+          std::to_string(svmPayload.size()) +
+          ", \"identical_output\": " + (svmIdentical ? "true" : "false") +
+          ", \"rows\": [";
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool::configureShared(static_cast<unsigned>(threads));
+    double streamedS = 0, matS = 0;
+    for (int i = 0; i < reps; ++i) {
+      Stopwatch sw;
+      NullSink null;
+      flate::StreamingCompressor sc(null, flate::Level::Default, threads);
+      ByteWriter w(sc);
+      svmRun.raw.serializeTo(w);
+      w.flush();
+      sc.finish();
+      const double st = sw.seconds();
+      sw.restart();
+      const auto bytes = svmRun.raw.serialize();
+      const auto gz = flate::compress(bytes, flate::Level::Default, threads);
+      const double mt = sw.seconds();
+      (void)gz;
+      if (i == 0 || st < streamedS) streamedS = st;
+      if (i == 0 || mt < matS) matS = mt;
+    }
+    bench::row({std::to_string(threads),
+                std::to_string(svmPayload.size() >> 10) + "K",
+                bench::secs(streamedS), bench::secs(matS),
+                bench::secs(matS / std::max(streamedS, 1e-12))});
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"threads\": %d, \"streamed_s\": %.6f, "
+                  "\"materialized_s\": %.6f}",
+                  threads == 1 ? "" : ", ", threads, streamedS, matS);
+    json += buf;
+  }
+  ThreadPool::configureShared(hw);
+  json += "]},\n";
+
+  // -- compressed size vs P: the paper's scaling claim — CYPRESS stays
+  // near-flat as ranks grow while the per-rank baselines grow with P.
+  bench::header("cyperf — compressed trace size vs process count",
+                "CYPRESS vs ScalaTrace and gzip, Fig. 15 trend at scale");
+  bench::row({"program", "procs", "events", "raw", "gzip", "scalatrace",
+              "cypress", "cypress+gz"});
+  json += "  \"size_vs_procs\": [\n";
+  bool sweepFirst = true;
+  for (const char* wname : {"JACOBI", "EP"}) {
+    for (int procs : {64, 512, 4096}) {
+      driver::Options o;
+      o.procs = procs;
+      o.threads = static_cast<int>(hw);
+      o.withScala2 = false;
+      const driver::RunOutput run = driver::runWorkload(wname, o);
+      const driver::SizeReport rep = driver::computeSizes(run, o.threads);
+      bench::row({wname, std::to_string(procs),
+                  std::to_string(run.raw.totalEvents()),
+                  bench::kb(rep.rawBytes), bench::kb(rep.gzipBytes),
+                  bench::kb(rep.scalaBytes), bench::kb(rep.cypressBytes),
+                  bench::kb(rep.cypressGzipBytes)});
+      std::fflush(stdout);
+      char buf[320];
+      std::snprintf(
+          buf, sizeof buf,
+          "%s    {\"workload\": \"%s\", \"procs\": %d, \"events\": %zu, "
+          "\"raw_bytes\": %zu, \"gzip_bytes\": %zu, \"scala_bytes\": %zu, "
+          "\"cypress_bytes\": %zu, \"cypress_gzip_bytes\": %zu}",
+          sweepFirst ? "" : ",\n", wname, procs, run.raw.totalEvents(),
+          rep.rawBytes, rep.gzipBytes, rep.scalaBytes, rep.cypressBytes,
+          rep.cypressGzipBytes);
+      json += buf;
+      sweepFirst = false;
+    }
+  }
   json += "\n  ]\n}\n";
 
   std::FILE* f = std::fopen(outPath.c_str(), "w");

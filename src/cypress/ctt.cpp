@@ -27,8 +27,7 @@ size_t Ctt::compressedItems() const {
   return n;
 }
 
-std::vector<uint8_t> Ctt::serialize() const {
-  ByteWriter w;
+void Ctt::serializeTo(ByteWriter& w) const {
   w.str("CYPP");
   w.uv(loopCounts_.size());
   for (size_t g = 0; g < loopCounts_.size(); ++g) {
@@ -38,6 +37,11 @@ std::vector<uint8_t> Ctt::serialize() const {
     w.uv(records_[g].size());
     for (const CommRecord& r : records_[g]) r.serialize(w);
   }
+}
+
+std::vector<uint8_t> Ctt::serialize() const {
+  ByteWriter w;
+  serializeTo(w);
   return w.take();
 }
 

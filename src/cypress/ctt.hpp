@@ -70,6 +70,10 @@ class Ctt {
   /// Per-process trace file (the paper's model: each process writes its
   /// compressed trace at MPI_Finalize; merging can then happen offline).
   /// The CST is NOT embedded — the reader must supply the same tree.
+  /// serializeTo streams into `w` — pair it with a sink-backed writer
+  /// (e.g. over flate::StreamingCompressor) so the CYPP bytes leave RAM
+  /// as they are produced; serialize() is the materializing wrapper.
+  void serializeTo(ByteWriter& w) const;
   std::vector<uint8_t> serialize() const;
   static Ctt deserialize(std::span<const uint8_t> data, const cst::Tree& cst);
 

@@ -174,8 +174,7 @@ std::vector<SeqEntry> readSeqEntries(ByteReader& r) {
 
 }  // namespace
 
-std::vector<uint8_t> MergedCtt::serialize() const {
-  ByteWriter w;
+void MergedCtt::serializeTo(ByteWriter& w) const {
   w.str("CYPC");
   // The CST ships inside the trace as a flate-compressed text file
   // (paper §III: "stores the resulting program communication structure
@@ -200,6 +199,11 @@ std::vector<uint8_t> MergedCtt::serialize() const {
       e.ranks.serialize(w);
     }
   }
+}
+
+std::vector<uint8_t> MergedCtt::serialize() const {
+  ByteWriter w;
+  serializeTo(w);
   return w.take();
 }
 

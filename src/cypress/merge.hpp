@@ -67,7 +67,10 @@ class MergedCtt {
 
   /// Serialized CYPRESS trace: compressed-text CST + payloads. This is
   /// the byte count reported as "Cypress" trace size; apply flate on top
-  /// for "Cypress+Gzip".
+  /// for "Cypress+Gzip". serializeTo streams into `w` (use a
+  /// sink-backed writer to avoid materializing the trace); serialize()
+  /// is the materializing wrapper.
+  void serializeTo(ByteWriter& w) const;
   std::vector<uint8_t> serialize() const;
   static MergedCtt deserialize(std::span<const uint8_t> data,
                                const cst::Tree& cst);

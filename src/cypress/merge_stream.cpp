@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "flate/flate.hpp"
+#include "flate/stream.hpp"
 #include "support/error.hpp"
 
 namespace cypress::core {
@@ -114,8 +115,20 @@ StreamingMergeResult streamingMerge(int numRanks, const CttSource& source,
     }
     return b;
   };
-  auto batchBytes = [&](BatchResult& b) {
-    return b.acc ? b.acc->serialize() : MergedCtt(cst).serialize();
+  // Serialize a tree straight into a spill sink: the CYPC stream goes
+  // to disk in chunk-sized slices and never exists as one buffer —
+  // this is what keeps Phase A/B memory at the batch budget instead of
+  // budget + serialized size. The seal totals feed checkpoint records.
+  auto streamSpill = [&](const MergedCtt& m, const std::string& path) {
+    SpillSink sink(io, path);
+    ByteWriter w(sink);
+    m.serializeTo(w);
+    w.flush();
+    return sink.seal();
+  };
+  auto streamBatchSpill = [&](BatchResult& b, const std::string& path) {
+    if (b.acc) return streamSpill(*b.acc, path);
+    return streamSpill(MergedCtt(cst), path);
   };
 
   std::vector<BatchRecord> recBatches;
@@ -146,14 +159,12 @@ StreamingMergeResult streamingMerge(int numRanks, const CttSource& source,
                   "manifest: batch " << batchIndex << " re-derives "
                                      << fresh.count << " ranks, checkpoint has "
                                      << b.rankCount);
-        const auto bytes = batchBytes(fresh);
-        CYP_CHECK(bytes.size() == b.fileBytes &&
-                      flate::crc32(bytes) == b.fileCrc,
+        const SpillSink::Totals tot = streamBatchSpill(fresh, abs(b.file));
+        CYP_CHECK(tot.bytes == b.fileBytes && tot.crc == b.fileCrc,
                   "manifest: recomputed batch "
                       << batchIndex
                       << " diverges from its checkpoint — the rank traces "
                       << "changed since the interrupted run");
-        writeSpill(io, abs(b.file), bytes);
         slots.push_back({b.file, nullptr});
         spillFiles.push_back(b.file);
       }
@@ -169,13 +180,12 @@ StreamingMergeResult streamingMerge(int numRanks, const CttSource& source,
     entry.firstRank = rank;
     entry.rankCount = b.count;
     entry.file = "b" + std::to_string(batchIndex) + ".cysp";
-    const auto bytes = batchBytes(b);
-    entry.fileBytes = bytes.size();
-    entry.fileCrc = flate::crc32(bytes);
     entry.lostRanks = b.lost;
     bool spilled = true;
     try {
-      writeSpill(io, abs(entry.file), bytes);
+      const SpillSink::Totals tot = streamBatchSpill(b, abs(entry.file));
+      entry.fileBytes = tot.bytes;
+      entry.fileCrc = tot.crc;
     } catch (const io::IoError&) {
       if (!opts.degrade) throw;
       spilled = false;
@@ -237,13 +247,11 @@ StreamingMergeResult streamingMerge(int numRanks, const CttSource& source,
         if (!spillIntact(io, abs(m.file), m.fileBytes, m.fileCrc)) {
           MergedCtt left = loadSlot(a);
           left.absorb(loadSlot(b));
-          const auto bytes = left.serialize();
-          CYP_CHECK(bytes.size() == m.fileBytes &&
-                        flate::crc32(bytes) == m.fileCrc,
+          const SpillSink::Totals tot = streamSpill(left, abs(m.file));
+          CYP_CHECK(tot.bytes == m.fileBytes && tot.crc == m.fileCrc,
                     "manifest: recomputed merge r" << round << "-p" << p
                                                    << " diverges from its "
                                                    << "checkpoint");
-          writeSpill(io, abs(m.file), bytes);
         }
         next.push_back({m.file, nullptr});
         spillFiles.push_back(m.file);
@@ -253,16 +261,15 @@ StreamingMergeResult streamingMerge(int numRanks, const CttSource& source,
 
       MergedCtt left = loadSlot(a);
       left.absorb(loadSlot(b));
-      const auto bytes = left.serialize();
       MergeRecord m;
       m.round = round;
       m.pairIndex = p;
       m.file = outFile;
-      m.fileBytes = bytes.size();
-      m.fileCrc = flate::crc32(bytes);
       bool spilled = true;
       try {
-        writeSpill(io, abs(outFile), bytes);
+        const SpillSink::Totals tot = streamSpill(left, abs(outFile));
+        m.fileBytes = tot.bytes;
+        m.fileCrc = tot.crc;
       } catch (const io::IoError&) {
         if (!opts.degrade) throw;
         spilled = false;
@@ -310,20 +317,35 @@ StreamingMergeResult streamingMerge(int numRanks, const CttSource& source,
       }
       if (!intact) {
         // The checkpoint outlived the artifact (e.g. a torn rename):
-        // verify-and-repair from the deterministic result.
-        const auto bytes = res.merged.serialize();
-        CYP_CHECK(bytes.size() == f.bytes && flate::crc32(bytes) == f.crc,
+        // verify-and-repair from the deterministic result. The rewrite
+        // streams into the tmp file and the totals are checked against
+        // the checkpoint BEFORE the rename — a divergent recomputation
+        // never reaches the final name.
+        io::AtomicFileWriter out(io, opts.outPath);
+        flate::Crc32Sink counted(&out);
+        ByteWriter w(counted);
+        res.merged.serializeTo(w);
+        w.flush();
+        CYP_CHECK(counted.bytes() == f.bytes && counted.crc() == f.crc,
                   "manifest: final artifact diverges from its checkpoint");
-        io::writeFileAtomic(io, opts.outPath, bytes);
+        out.commit();
       }
       ++res.stepsResumed;
     } else {
-      const auto bytes = res.merged.serialize();
+      // Stream the merged CYPC through the atomic writer; the counting
+      // sink supplies the checkpoint totals without a second pass.
       FinalRecord f;
       f.outPath = opts.outPath;
-      f.bytes = bytes.size();
-      f.crc = flate::crc32(bytes);
-      io::writeFileAtomic(io, opts.outPath, bytes);
+      {
+        io::AtomicFileWriter out(io, opts.outPath);
+        flate::Crc32Sink counted(&out);
+        ByteWriter w(counted);
+        res.merged.serializeTo(w);
+        w.flush();
+        f.bytes = counted.bytes();
+        f.crc = counted.crc();
+        out.commit();
+      }
       checkpoint([&] { writer->appendFinal(f); });
     }
   }

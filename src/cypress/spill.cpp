@@ -35,29 +35,61 @@ void frameSegment(ByteWriter& w, uint8_t kind,
 
 }  // namespace
 
-void writeSpill(io::IoBackend& io, const std::string& path,
-                std::span<const uint8_t> data) {
-  auto file = io.openWrite(path);
+SpillSink::SpillSink(io::IoBackend& io, const std::string& path)
+    : file_(io.openWrite(path)) {
+  chunk_.reserve(kSpillChunkBytes);
   ByteWriter h;
   h.str("CYSP");
   h.uv(kSpillVersion);
-  file->write(h.bytes());
+  file_->write(h.bytes());
+}
+
+void SpillSink::flushChunk() {
   // Chunked so a torn write is localized: every chunk is independently
   // CRC-checked, and the seal pins the whole-stream length and CRC.
-  for (size_t off = 0; off < data.size(); off += kSpillChunkBytes) {
-    const size_t n = std::min(kSpillChunkBytes, data.size() - off);
-    ByteWriter seg;
-    frameSegment(seg, kChunkSegment, data.subspan(off, n));
-    file->write(seg.bytes());
+  const uint32_t chunkCrc = flate::crc32(chunk_);
+  totals_.crc = totals_.bytes == 0
+                    ? chunkCrc
+                    : flate::crc32Combine(totals_.crc, chunkCrc, chunk_.size());
+  totals_.bytes += chunk_.size();
+  ByteWriter seg;
+  frameSegment(seg, kChunkSegment, chunk_);
+  file_->write(seg.bytes());
+  chunk_.clear();
+}
+
+void SpillSink::append(std::span<const uint8_t> bytes) {
+  CYP_CHECK(!sealed_, "spill: append after seal");
+  while (!bytes.empty()) {
+    const size_t n = std::min(kSpillChunkBytes - chunk_.size(), bytes.size());
+    chunk_.insert(chunk_.end(), bytes.begin(), bytes.begin() + n);
+    bytes = bytes.subspan(n);
+    // Eager flush at exactly the chunk size: writeSpill cuts full
+    // chunks at the same offsets, so the files are byte-identical.
+    if (chunk_.size() == kSpillChunkBytes) flushChunk();
   }
+}
+
+SpillSink::Totals SpillSink::seal() {
+  CYP_CHECK(!sealed_, "spill: sealed twice");
+  sealed_ = true;
+  if (!chunk_.empty()) flushChunk();
   ByteWriter seal;
-  seal.uv(data.size());
-  seal.u32fixed(flate::crc32(data));
+  seal.uv(totals_.bytes);
+  seal.u32fixed(totals_.crc);
   ByteWriter seg;
   frameSegment(seg, kSealSegment, seal.bytes());
-  file->write(seg.bytes());
-  file->sync();
-  file->close();
+  file_->write(seg.bytes());
+  file_->sync();
+  file_->close();
+  return totals_;
+}
+
+void writeSpill(io::IoBackend& io, const std::string& path,
+                std::span<const uint8_t> data) {
+  SpillSink sink(io, path);
+  sink.append(data);
+  sink.seal();
 }
 
 std::vector<uint8_t> parseSpill(std::span<const uint8_t> file) {

@@ -66,6 +66,40 @@ namespace cypress::core {
 void writeSpill(io::IoBackend& io, const std::string& path,
                 std::span<const uint8_t> data);
 
+/// Streaming CYSP writer: a ByteSink producers serialize straight
+/// into, so a spill never requires the serialized stream as one
+/// buffer. Bytes are framed into CRC'd CHUNK segments at the same
+/// fixed cut points writeSpill uses (the file is byte-identical);
+/// seal() flushes the tail chunk, appends the SEAL segment with the
+/// running totals (whole-stream CRC via crc32Combine folding), fsyncs,
+/// closes, and reports the payload totals for checkpoint records.
+/// A destroyed-unsealed sink leaves a torn spill — exactly what the
+/// strict reader rejects and the resume path recomputes.
+class SpillSink final : public ByteSink {
+ public:
+  struct Totals {
+    uint64_t bytes = 0;  ///< payload stream length
+    uint32_t crc = 0;    ///< crc32 of the whole payload stream
+  };
+
+  SpillSink(io::IoBackend& io, const std::string& path);
+  ~SpillSink() override = default;
+
+  SpillSink(const SpillSink&) = delete;
+  SpillSink& operator=(const SpillSink&) = delete;
+
+  void append(std::span<const uint8_t> bytes) override;
+  Totals seal();
+
+ private:
+  void flushChunk();
+
+  std::unique_ptr<io::IoFile> file_;
+  std::vector<uint8_t> chunk_;
+  Totals totals_;
+  bool sealed_ = false;
+};
+
 /// Strict parse of spill bytes: returns the payload stream only when
 /// every chunk CRC checks out and a valid, matching SEAL terminates the
 /// file; any anomaly raises cypress::Error.

@@ -1,6 +1,7 @@
 #include "driver/pipeline.hpp"
 
 #include "flate/flate.hpp"
+#include "flate/stream.hpp"
 #include "minic/compile.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -24,6 +25,19 @@ size_t avgMemory(const Recorders& recs) {
   size_t total = 0;
   for (const auto& r : recs) total += r->memoryBytes();
   return total / recs.size();
+}
+
+/// Stream one rank's CYPP through the shard compressor into `sink`:
+/// serialized bytes leave the writer in shard-sized slices and are
+/// compressed as they are cut — the full serialized vector never
+/// exists. Byte-identical to flate::compress(ctt.serialize()).
+flate::StreamingCompressor::Totals compressCttTo(const core::Ctt& ctt,
+                                                 ByteSink& sink, int threads) {
+  flate::StreamingCompressor sc(sink, flate::Level::Default, threads);
+  ByteWriter w(sc);
+  ctt.serializeTo(w);
+  w.flush();
+  return sc.finish();
 }
 
 }  // namespace
@@ -169,7 +183,13 @@ RunOutput runSource(const std::string& name, const std::string& source,
     out.rankTraceFiles.resize(out.cypress.size());
     parallelFor(out.cypress.size(), opts.threads, [&](size_t r) {
       if (!out.cypress[r]->finalized()) return;  // lost rank: empty entry
-      out.rankTraceFiles[r] = flate::compress(out.cypress[r]->ctt().serialize());
+      // Streaming serialize→compress (single lane per rank; the fan-out
+      // across ranks is the parallelism): shards leave the serializer
+      // as they are cut, so peak memory per rank is one shard plus the
+      // compressed output instead of both full streams.
+      VectorSink sink;
+      compressCttTo(out.cypress[r]->ctt(), sink, /*threads=*/1);
+      out.rankTraceFiles[r] = sink.take();
     });
   }
 
@@ -237,12 +257,24 @@ SizeReport computeSizes(const RunOutput& run, int threads) {
   // disjoint recorder state, so they fan out as independent pool tasks;
   // the CYPRESS branch parallelizes further (merge reduction + flate
   // shards) with the same budget.
+  // All four size pairs come from one streaming pass each: serialize
+  // into the shard compressor over a discarding sink, and read both
+  // the raw and the compressed byte counts off the totals — neither
+  // the serialized stream nor the compressed container is ever held.
+  const auto streamedSizes = [threads](const auto& producer) {
+    NullSink null;
+    flate::StreamingCompressor sc(null, flate::Level::Default, threads);
+    ByteWriter w(sc);
+    producer.serializeTo(w);
+    w.flush();
+    return sc.finish();
+  };
   std::vector<std::function<void()>> branches;
   if (!run.raw.ranks.empty()) {
     branches.push_back([&] {
-      const auto rawBytes = run.raw.serialize();
-      rep.rawBytes = rawBytes.size();
-      rep.gzipBytes = flate::compressedSize(rawBytes, flate::Level::Default, threads);
+      const auto tot = streamedSizes(run.raw);
+      rep.rawBytes = tot.rawBytes;
+      rep.gzipBytes = tot.compressedBytes;
     });
   }
   if (!run.scala.empty()) {
@@ -251,7 +283,7 @@ SizeReport computeSizes(const RunOutput& run, int threads) {
       for (const auto& r : run.scala) seqs.push_back(&r->sequence());
       CostMeter cost;
       auto merged = scalatrace::mergeSequences(seqs, scalatrace::Flavor::V1, &cost);
-      rep.scalaBytes = merged.serialize().size();
+      rep.scalaBytes = merged.serializedBytes();
       rep.scalaInterSeconds = cost.totalSeconds();
     });
   }
@@ -261,9 +293,9 @@ SizeReport computeSizes(const RunOutput& run, int threads) {
       for (const auto& r : run.scala2) seqs.push_back(&r->sequence());
       CostMeter cost;
       auto merged = scalatrace::mergeSequences(seqs, scalatrace::Flavor::V2, &cost);
-      const auto bytes = merged.serialize();
-      rep.scala2Bytes = bytes.size();
-      rep.scala2GzipBytes = flate::compressedSize(bytes, flate::Level::Default, threads);
+      const auto tot = streamedSizes(merged);
+      rep.scala2Bytes = tot.rawBytes;
+      rep.scala2GzipBytes = tot.compressedBytes;
       rep.scala2InterSeconds = cost.totalSeconds();
     });
   }
@@ -271,10 +303,9 @@ SizeReport computeSizes(const RunOutput& run, int threads) {
     branches.push_back([&] {
       CostMeter cost;
       auto merged = mergeCypress(run, &cost, threads);
-      const auto bytes = merged.serialize();
-      rep.cypressBytes = bytes.size();
-      rep.cypressGzipBytes =
-          flate::compressedSize(bytes, flate::Level::Default, threads);
+      const auto tot = streamedSizes(merged);
+      rep.cypressBytes = tot.rawBytes;
+      rep.cypressGzipBytes = tot.compressedBytes;
       rep.cypressInterSeconds = cost.totalSeconds();
     });
   }
@@ -295,29 +326,50 @@ constexpr uint64_t kRankDirVersion = 1;
 }  // namespace
 
 RankSet writeRankTraces(const RunOutput& run, const std::string& dir,
-                        io::IoBackend* io) {
+                        io::IoBackend* io, int threads) {
   io::IoBackend& be = io ? *io : io::realIo();
-  CYP_CHECK(!run.rankTraceFiles.empty(),
+  // Prefer streaming straight from the recorders: each rank's CYPP is
+  // serialized into the shard compressor and drained through an
+  // AtomicFileWriter, so shards leave RAM as they are cut and no rank
+  // ever exists as serialized-plus-compressed buffers. The
+  // pre-compressed rankTraceFiles path remains for callers that only
+  // kept the buffers (the bytes are identical either way). Ranks are
+  // written in order — deterministic I/O ordinals for fault plans —
+  // while `threads` parallelizes shard compression within a rank.
+  const bool fromRecorders = !run.cypress.empty();
+  CYP_CHECK(fromRecorders || !run.rankTraceFiles.empty(),
             "writeRankTraces: the run has no per-rank traces (run with "
-            "Options::emitRankTraces)");
+            "Options::withCypress or Options::emitRankTraces)");
+  const size_t numRanks =
+      fromRecorders ? run.cypress.size() : run.rankTraceFiles.size();
   be.createDirectories(dir);
 
   ByteWriter meta;
   meta.str("CYRD");
   meta.uv(kRankDirVersion);
-  meta.uv(run.rankTraceFiles.size());
+  meta.uv(numRanks);
   io::writeFileAtomic(be, dir + "/meta.cyrd", meta.bytes());
   io::writeFileAtomic(be, dir + "/cst.cyst",
                       flate::compressString(run.cst->toText()));
 
   RankSet lost;
-  for (size_t r = 0; r < run.rankTraceFiles.size(); ++r) {
-    if (run.rankTraceFiles[r].empty()) {
-      lost.insert(static_cast<int>(r));
-      continue;
+  for (size_t r = 0; r < numRanks; ++r) {
+    const std::string path = dir + "/" + rankFileName(static_cast<int>(r));
+    if (fromRecorders) {
+      if (!run.cypress[r]->finalized()) {  // lost rank: no file
+        lost.insert(static_cast<int>(r));
+        continue;
+      }
+      io::AtomicFileWriter out(be, path);
+      compressCttTo(run.cypress[r]->ctt(), out, threads);
+      out.commit();
+    } else {
+      if (run.rankTraceFiles[r].empty()) {
+        lost.insert(static_cast<int>(r));
+        continue;
+      }
+      io::writeFileAtomic(be, path, run.rankTraceFiles[r]);
     }
-    io::writeFileAtomic(be, dir + "/" + rankFileName(static_cast<int>(r)),
-                        run.rankTraceFiles[r]);
   }
   return lost;
 }

@@ -199,11 +199,16 @@ verify::Report verifyRun(const RunOutput& run, int threads = 1);
 ///
 /// Every file is written atomically (tmp + fsync + rename) through
 /// `io` (null = real backend), so a crash mid-emit never leaves a
-/// torn file under a final name. Requires the run to have been made
-/// with Options::emitRankTraces. Returns the ranks with no file (the
-/// run's lost ranks) so callers can report coverage.
+/// torn file under a final name. When the run holds CYPRESS recorders
+/// (Options::withCypress) each rank streams serialize→compress→write
+/// directly from its recorder — shards leave RAM as they are cut, no
+/// per-rank buffer needed; otherwise the pre-built rankTraceFiles
+/// (Options::emitRankTraces) are written as-is. Ranks are emitted in
+/// order (deterministic I/O ordinals for --io-fault plans); `threads`
+/// fans out shard compression within a rank. Returns the ranks with
+/// no file (the run's lost ranks) so callers can report coverage.
 RankSet writeRankTraces(const RunOutput& run, const std::string& dir,
-                        io::IoBackend* io = nullptr);
+                        io::IoBackend* io = nullptr, int threads = 1);
 
 /// An opened rank-trace directory: `cyptrace merge`'s input, and the
 /// natural CttSource for core::streamingMerge (load(rank) is nullopt

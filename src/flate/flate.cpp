@@ -5,6 +5,7 @@
 #include <cstring>
 
 #include "flate/bitio.hpp"
+#include "flate/block.hpp"
 #include "flate/huffman.hpp"
 #include "flate/lz77.hpp"
 #include "support/bytebuf.hpp"
@@ -13,16 +14,17 @@
 
 namespace cypress::flate {
 
+using detail::compressBlock;
+using detail::kBlockFramed;
+using detail::kBlockHuffman;
+using detail::kBlockStored;
+using detail::kMagic;
+
 namespace {
 
-constexpr char kMagic[4] = {'C', 'Y', 'F', '1'};
 constexpr int kNumLitLen = 286;  // 0..255 literals, 256 EOB, 257..285 lengths
 constexpr int kNumDist = 30;
 constexpr int kEob = 256;
-
-constexpr uint8_t kBlockStored = 0;
-constexpr uint8_t kBlockHuffman = 1;
-constexpr uint8_t kBlockFramed = 2;
 
 // DEFLATE length codes: symbol 257+i encodes lengths [base[i],
 // base[i]+2^extra[i]-1].
@@ -109,11 +111,13 @@ std::vector<uint8_t> readLengths(ByteReader& r, size_t n) {
   return lengths;
 }
 
-/// Compress one window-independent block: `u8 kind | payload`, stored
-/// when Huffman coding does not win. This is exactly the legacy
-/// single-block body, reused per shard by the framed container.
-std::vector<uint8_t> compressBlock(std::span<const uint8_t> data,
-                                   const MatchParams& mp) {
+}  // namespace
+
+// Definition of the block compressor declared in flate/block.hpp (the
+// doc comment lives there); the Huffman/bit-io helpers it needs stay
+// file-local above.
+std::vector<uint8_t> detail::compressBlock(std::span<const uint8_t> data,
+                                           const MatchParams& mp) {
   const auto tokens = tokenize(data, mp);
 
   // Symbol frequencies.
@@ -166,6 +170,8 @@ std::vector<uint8_t> compressBlock(std::span<const uint8_t> data,
   }
   return block.take();
 }
+
+namespace {
 
 /// Decode one block (kind already consumed) appending exactly `expect`
 /// bytes to `out`. Back-references never reach past the block's own

@@ -129,8 +129,7 @@ uint64_t eventCountForRank(const MergedSeq& m, int rank) {
   return total;
 }
 
-std::vector<uint8_t> MergedSeq::serialize() const {
-  ByteWriter w;
+void MergedSeq::serializeTo(ByteWriter& w) const {
   w.str("STM1");
   w.u8(flavor == Flavor::V1 ? 1 : 2);
   w.uv(elems.size());
@@ -150,7 +149,20 @@ std::vector<uint8_t> MergedSeq::serialize() const {
       counts.serialize(w);
     }
   }
+}
+
+std::vector<uint8_t> MergedSeq::serialize() const {
+  ByteWriter w;
+  serializeTo(w);
   return w.take();
+}
+
+size_t MergedSeq::serializedBytes() const {
+  NullSink null;
+  ByteWriter w(null);
+  serializeTo(w);
+  w.flush();
+  return w.size();
 }
 
 MergedSeq MergedSeq::deserialize(std::span<const uint8_t> data) {

@@ -36,7 +36,12 @@ struct MergedSeq {
   Flavor flavor = Flavor::V1;
   std::vector<MElement> elems;
 
+  /// Stream the STM1 form into `w` (sink-backed writers avoid the full
+  /// byte vector); serialize() is the materializing wrapper and
+  /// serializedBytes() the counting pass over a discarding sink.
+  void serializeTo(ByteWriter& w) const;
   std::vector<uint8_t> serialize() const;
+  size_t serializedBytes() const;
   /// Parse a merged trace (`STM1`). Throws cypress::Error on malformed
   /// input.
   static MergedSeq deserialize(std::span<const uint8_t> data);

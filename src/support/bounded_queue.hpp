@@ -1,0 +1,108 @@
+// Bounded MPMC queue: the backpressure channel between a producer
+// cutting shards and the pool workers compressing them.
+//
+// Capacity is the memory bound — a producer that outruns the
+// compressors holds at most `capacity` shards in flight. Blocking
+// push() is deliberately absent: a producer that may itself be running
+// inside a pool task must never sleep on a full queue (the worker it
+// would wait for could be queued behind it — the same deadlock the
+// thread pool's helping wait exists to prevent). Callers use tryPush()
+// and, on failure, drain one item themselves (see
+// flate::StreamingCompressor), which keeps every thread productive and
+// the system deadlock-free by construction.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace cypress {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    CYP_CHECK(capacity >= 1, "BoundedQueue: capacity must be >= 1");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Append if the queue has room and is open. Returns false when full
+  /// or closed; never blocks. The item is moved-from only on success.
+  bool tryPush(T& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cvPop_.notify_one();
+    return true;
+  }
+
+  /// Pop the oldest item, or nullopt when the queue is empty (or
+  /// closed and drained). Never blocks.
+  std::optional<T> tryPop() {
+    std::optional<T> out;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (items_.empty()) return out;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    cvPush_.notify_one();
+    return out;
+  }
+
+  /// Block until an item is available or the queue is closed and empty.
+  std::optional<T> pop() {
+    std::optional<T> out;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cvPop_.wait(lock, [&] { return !items_.empty() || closed_; });
+      if (items_.empty()) return out;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
+    cvPush_.notify_one();
+    return out;
+  }
+
+  /// Close the queue: pending items remain poppable, pushes fail, and
+  /// blocked pop() calls wake with nullopt once drained.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cvPop_.notify_all();
+    cvPush_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cvPop_;   // waiters for an item
+  std::condition_variable cvPush_;  // waiters for room
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace cypress

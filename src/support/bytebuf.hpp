@@ -17,19 +17,87 @@
 
 namespace cypress {
 
+/// Destination of a byte stream. The streaming pipeline (serialize →
+/// shard → compress → write) is built by chaining sinks: a ByteWriter
+/// flushes into a sink, the streaming compressor IS a sink and drains
+/// into another, and the file layer's AtomicFileWriter terminates the
+/// chain. append() must accept any span size, including empty.
+class ByteSink {
+ public:
+  virtual ~ByteSink() = default;
+  virtual void append(std::span<const uint8_t> bytes) = 0;
+};
+
+/// Sink that accumulates into a vector (the materializing terminator).
+class VectorSink final : public ByteSink {
+ public:
+  void append(std::span<const uint8_t> bytes) override {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Sink that discards everything: pure size accounting. Producers
+/// compute their serialized size by writing into a NullSink-backed
+/// ByteWriter and reading its running count — no full-buffer
+/// materialization just to call .size().
+class NullSink final : public ByteSink {
+ public:
+  void append(std::span<const uint8_t>) override {}
+};
+
 /// Append-only little-endian binary writer.
+///
+/// Two modes share one encode path:
+///   - buffered (default ctor): bytes accumulate in an internal vector,
+///     retrieved with bytes()/take(). The historical behavior.
+///   - sink-backed (ByteSink ctor): the internal buffer is a small
+///     staging area flushed to the sink whenever it crosses
+///     kFlushBytes; large raw() spans bypass it entirely. size() keeps
+///     counting the full stream either way, so producers can report
+///     exact sizes without a materialized buffer. Call flush() when the
+///     stream is complete (the streaming compressor's finish() expects
+///     every byte to have reached it).
 class ByteWriter {
  public:
-  ByteWriter() = default;
+  /// Sink-backed staging threshold: large enough to amortize virtual
+  /// append() calls, small enough to stay cache-resident.
+  static constexpr size_t kFlushBytes = 64 * 1024;
 
-  void u8(uint8_t v) { buf_.push_back(v); }
+  ByteWriter() = default;
+  explicit ByteWriter(ByteSink& sink) : sink_(&sink) {}
+  ~ByteWriter() {
+    if (sink_ != nullptr && !buf_.empty()) {
+      try {
+        flush();
+      } catch (...) {
+        // A sink failure in a destructor (e.g. disk full during
+        // unwinding) cannot be reported; the explicit flush() callers
+        // use on the success path sees it.
+      }
+    }
+  }
+
+  ByteWriter(const ByteWriter&) = delete;
+  ByteWriter& operator=(const ByteWriter&) = delete;
+
+  void u8(uint8_t v) {
+    buf_.push_back(v);
+    maybeFlush();
+  }
 
   void u32fixed(uint32_t v) {
     for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    maybeFlush();
   }
 
   void u64fixed(uint64_t v) {
     for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<uint8_t>(v >> (8 * i)));
+    maybeFlush();
   }
 
   /// Unsigned LEB128 varint.
@@ -39,6 +107,7 @@ class ByteWriter {
       v >>= 7;
     }
     buf_.push_back(static_cast<uint8_t>(v));
+    maybeFlush();
   }
 
   /// Zigzag-encoded signed varint.
@@ -56,20 +125,57 @@ class ByteWriter {
   /// Length-prefixed string.
   void str(std::string_view s) {
     uv(s.size());
-    buf_.insert(buf_.end(), s.begin(), s.end());
+    raw(std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(s.data()),
+                                 s.size()));
   }
 
-  /// Raw bytes without a length prefix.
+  /// Raw bytes without a length prefix. Sink-backed writers forward
+  /// large spans straight to the sink (after flushing the staging
+  /// buffer to keep byte order) instead of copying them twice.
   void raw(std::span<const uint8_t> bytes) {
+    if (sink_ != nullptr && bytes.size() >= kFlushBytes) {
+      flush();
+      sink_->append(bytes);
+      flushed_ += bytes.size();
+      return;
+    }
     buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+    maybeFlush();
   }
 
-  size_t size() const { return buf_.size(); }
-  const std::vector<uint8_t>& bytes() const { return buf_; }
-  std::vector<uint8_t> take() { return std::move(buf_); }
+  /// Bytes written so far, across both modes: for a sink-backed writer
+  /// this is the whole stream, not just the staged tail.
+  size_t size() const { return flushed_ + buf_.size(); }
+
+  /// Push every staged byte to the sink (no-op when buffered).
+  void flush() {
+    if (sink_ == nullptr || buf_.empty()) return;
+    sink_->append(buf_);
+    flushed_ += buf_.size();
+    buf_.clear();
+  }
+
+  const std::vector<uint8_t>& bytes() const {
+    CYP_CHECK(sink_ == nullptr,
+              "ByteWriter: bytes() on a sink-backed writer (the stream "
+              "already left the buffer)");
+    return buf_;
+  }
+  std::vector<uint8_t> take() {
+    CYP_CHECK(sink_ == nullptr,
+              "ByteWriter: take() on a sink-backed writer (the stream "
+              "already left the buffer)");
+    return std::move(buf_);
+  }
 
  private:
+  void maybeFlush() {
+    if (sink_ != nullptr && buf_.size() >= kFlushBytes) flush();
+  }
+
   std::vector<uint8_t> buf_;
+  ByteSink* sink_ = nullptr;
+  size_t flushed_ = 0;
 };
 
 /// Sequential reader over a byte span; throws cypress::Error on underflow.

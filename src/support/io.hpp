@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "support/bytebuf.hpp"
 #include "support/error.hpp"
 
 namespace cypress::io {
@@ -176,7 +177,12 @@ class FaultyIoBackend final : public IoBackend {
 /// commit() fsyncs, closes, and renames (the backend fsyncs the parent
 /// directory). Destroying an uncommitted writer removes the tmp file,
 /// so an aborted write leaves nothing behind under either name.
-class AtomicFileWriter {
+///
+/// Also a ByteSink, so it terminates streaming chains: a producer
+/// serializes through flate::StreamingCompressor (or a bare sink-backed
+/// ByteWriter) straight into the tmp file, and an exception anywhere
+/// upstream still leaves nothing under the final name.
+class AtomicFileWriter final : public ByteSink {
  public:
   AtomicFileWriter(IoBackend& io, const std::string& path);
   ~AtomicFileWriter();
@@ -185,6 +191,7 @@ class AtomicFileWriter {
   AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
 
   void write(std::span<const uint8_t> bytes);
+  void append(std::span<const uint8_t> bytes) override { write(bytes); }
   void commit();
   bool committed() const { return committed_; }
 

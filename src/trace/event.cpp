@@ -54,8 +54,7 @@ size_t RawTrace::totalEvents() const {
   return n;
 }
 
-std::vector<uint8_t> RawTrace::serialize() const {
-  ByteWriter w;
+void RawTrace::serializeTo(ByteWriter& w) const {
   w.str("CYTR");
   w.uv(ranks.size());
   for (const auto& r : ranks) {
@@ -63,7 +62,22 @@ std::vector<uint8_t> RawTrace::serialize() const {
     w.uv(r.events.size());
     for (const Event& e : r.events) serializeEvent(e, w);
   }
+}
+
+std::vector<uint8_t> RawTrace::serialize() const {
+  ByteWriter w;
+  serializeTo(w);
   return w.take();
+}
+
+size_t RawTrace::serializedBytes() const {
+  // Size accounting without materializing the stream: a discarding
+  // sink, counted by the writer.
+  NullSink null;
+  ByteWriter w(null);
+  serializeTo(w);
+  w.flush();
+  return w.size();
 }
 
 RawTrace RawTrace::deserialize(std::span<const uint8_t> data) {

@@ -60,9 +60,14 @@ struct RawTrace {
   std::vector<RankTrace> ranks;
 
   size_t totalEvents() const;
+  /// Stream the CYTR form into `w` (which may be sink-backed: the
+  /// bytes then flow to compression/disk as they are produced).
+  void serializeTo(ByteWriter& w) const;
   std::vector<uint8_t> serialize() const;
   static RawTrace deserialize(std::span<const uint8_t> data);
-  size_t serializedBytes() const { return serialize().size(); }
+  /// Serialized size, computed by a counting pass over a discarding
+  /// sink — not by materializing the full byte vector.
+  size_t serializedBytes() const;
 };
 
 }  // namespace cypress::trace

@@ -7,7 +7,11 @@
 //       --fault injects deterministic faults (kill:R@N, abort:R@N,
 //       drop:R@N, delay:R@N:NS); --journal also writes a
 //       crash-consistent CYJ1 event journal; --salvage turns deadlocks
-//       into partial traces instead of errors.
+//       into partial traces instead of errors. Every artifact write
+//       (trace, journal, rank dir) streams through an atomic writer;
+//       --io-fault injects deterministic disk faults into those writes
+//       (same SPECs as merge), and any disk fault exits with code 4
+//       leaving nothing torn under a final name.
 //   cyptrace recover <F.cyj> [--out F.cytr]
 //       Salvage a (possibly torn) CYJ1 journal: replay intact segments,
 //       report lost/unfinalized ranks, optionally write the recovered
@@ -105,7 +109,7 @@ struct Args {
                "usage:\n"
                "  cyptrace run <workload|file.mc> --procs N [--scale S] [--threads T]\n"
                "               [--out F.cyp] [--fault SPEC]... [--journal F.cyj] [--salvage]\n"
-               "               [--emit-ranks DIR]\n"
+               "               [--emit-ranks DIR] [--io-fault SPEC]...\n"
                "               (SPEC: kill:R@N | abort:R@N | drop:R@N | delay:R@N:NS)\n"
                "  cyptrace recover <F.cyj> [--out F.cytr]\n"
                "  cyptrace merge <rankdir> [--out F.cyp] [--merge-budget BYTES[k|m|g]]\n"
@@ -205,6 +209,21 @@ std::vector<uint8_t> readBytes(const std::string& path) {
   return std::vector<uint8_t>(s.begin(), s.end());
 }
 
+/// An --io-fault plan wraps the real backend in the deterministic
+/// injector; every durable byte the command writes then flows through
+/// it. Returns the backend to use; `faulty` owns the wrapper.
+io::IoBackend* faultIo(const Args& a,
+                       std::unique_ptr<io::FaultyIoBackend>& faulty) {
+  if (a.ioFaults.empty()) return &io::realIo();
+  std::vector<io::IoFaultSpec> plan;
+  plan.reserve(a.ioFaults.size());
+  for (const std::string& s : a.ioFaults)
+    plan.push_back(io::parseIoFaultSpec(s));
+  faulty =
+      std::make_unique<io::FaultyIoBackend>(io::realIo(), std::move(plan));
+  return faulty.get();
+}
+
 driver::RunOutput runTarget(const Args& a, bool allTools) {
   driver::Options opts;
   opts.procs = a.procs;
@@ -212,7 +231,6 @@ driver::RunOutput runTarget(const Args& a, bool allTools) {
   opts.threads = a.threads;
   opts.withScala = allTools;
   opts.withScala2 = allTools;
-  opts.emitRankTraces = !a.emitRanks.empty();
   for (const std::string& spec : a.faultSpecs)
     opts.engine.faults.faults.push_back(simmpi::parseFaultSpec(spec));
   opts.withJournal = !a.journal.empty();
@@ -225,16 +243,27 @@ driver::RunOutput runTarget(const Args& a, bool allTools) {
 }
 
 int cmdRun(const Args& a) {
+  std::unique_ptr<io::FaultyIoBackend> faulty;
+  io::IoBackend* io = faultIo(a, faulty);
   driver::RunOutput run = runTarget(a, /*allTools=*/false);
   core::MergedCtt merged = driver::mergeCypress(run, nullptr, a.threads);
-  const auto bytes = merged.serialize();
   const std::string out = a.out.empty() ? a.target + ".cyp" : a.out;
-  // Artifacts land atomically (tmp + fsync + rename): a kill mid-write
-  // never leaves a torn file under the final name.
-  io::writeFileAtomic(io::realIo(), out, bytes);
+  // Artifacts land atomically (tmp + fsync + rename) and are streamed
+  // straight from the merged CTT — the serialized trace never exists
+  // as one in-RAM buffer, and a kill or disk fault mid-write never
+  // leaves a torn file under the final name.
+  size_t outBytes = 0;
+  {
+    io::AtomicFileWriter writer(*io, out);
+    ByteWriter w(writer);
+    merged.serializeTo(w);
+    w.flush();
+    outBytes = w.size();
+    writer.commit();
+  }
   std::printf("traced %s on %d ranks: %zu events -> %s (%s)\n", a.target.c_str(),
               a.procs, run.raw.totalEvents(), out.c_str(),
-              humanBytes(bytes.size()).c_str());
+              humanBytes(outBytes).c_str());
   if (!run.runStats.clean()) {
     std::printf("partial run:");
     for (int r : run.runStats.deadRanks) std::printf(" rank %d killed", r);
@@ -246,13 +275,14 @@ int cmdRun(const Args& a) {
                 merged.lostRanks().size());
   }
   if (run.journal != nullptr) {
-    io::writeFileAtomic(io::realIo(), a.journal, run.journal->bytes());
+    io::writeFileAtomic(*io, a.journal, run.journal->bytes());
     std::printf("journal: %s (%s, %llu events, sealed)\n", a.journal.c_str(),
                 humanBytes(run.journal->bytes().size()).c_str(),
                 static_cast<unsigned long long>(run.journal->totalEvents()));
   }
   if (!a.emitRanks.empty()) {
-    const RankSet lost = driver::writeRankTraces(run, a.emitRanks);
+    const RankSet lost = driver::writeRankTraces(run, a.emitRanks, io,
+                                                 a.threads);
     std::printf("rank traces: %s (%d ranks, %zu lost)\n", a.emitRanks.c_str(),
                 a.procs, lost.size());
   }
@@ -260,19 +290,8 @@ int cmdRun(const Args& a) {
 }
 
 int cmdMerge(const Args& a) {
-  // An --io-fault plan wraps the real backend in the deterministic
-  // injector; every durable byte of the merge then flows through it.
-  io::IoBackend* io = &io::realIo();
   std::unique_ptr<io::FaultyIoBackend> faulty;
-  if (!a.ioFaults.empty()) {
-    std::vector<io::IoFaultSpec> plan;
-    plan.reserve(a.ioFaults.size());
-    for (const std::string& s : a.ioFaults)
-      plan.push_back(io::parseIoFaultSpec(s));
-    faulty = std::make_unique<io::FaultyIoBackend>(io::realIo(),
-                                                   std::move(plan));
-    io = faulty.get();
-  }
+  io::IoBackend* io = faultIo(a, faulty);
 
   const driver::RankTraceDir ranks = driver::openRankTraceDir(a.target, io);
   core::StreamingMergeOptions mo;
@@ -513,6 +532,11 @@ int main(int argc, char** argv) {
     if (a.command == "diff") return cmdDiff(a);
     if (a.command == "verify") return cmdVerify(a);
     usage();
+  } catch (const io::IoError& e) {
+    // Disk faults get their own exit code so wrappers (and the fault
+    // sweep in tests) can tell "out of disk" from "bad trace".
+    std::fprintf(stderr, "cyptrace: %s\n", e.what());
+    return 4;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cyptrace: %s\n", e.what());
     return 1;
