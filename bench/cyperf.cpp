@@ -7,10 +7,13 @@
 // regress against. The post-run stages use the streaming sink chain
 // (flate::StreamingCompressor over serializeTo) — the same dataflow the
 // driver ships — so no stage materializes a full serialized trace; the
-// rss_peak_kb trajectory regresses that property. Two extra sections:
-// a streamed-vs-materialized head-to-head on the biggest payload, and a
+// rss_peak_kb trajectory regresses that property. Three extra sections:
+// a streamed-vs-materialized head-to-head on the biggest payload, a
 // compressed-size-vs-P sweep (64/512/4096) against the ScalaTrace and
-// gzip baselines. The traced run fans its epoch-local phases out on
+// gzip baselines, and a query-vs-P sweep over the same runs charting
+// the compressed-domain comm-matrix query against its
+// decompress-then-scan oracle. The traced run fans its epoch-local
+// phases out on
 // the shared pool (vm/runner.hpp), as do all post-run stages; rows
 // where threads exceed hardware_concurrency are flagged (`*`, and
 // "oversubscribed" in the JSON) since they cannot show real scaling.
@@ -23,11 +26,13 @@
 
 #include "bench_util.hpp"
 #include "cst/builder.hpp"
+#include "cypress/decompress.hpp"
 #include "cypress/merge.hpp"
 #include "driver/pipeline.hpp"
 #include "flate/flate.hpp"
 #include "flate/stream.hpp"
 #include "minic/compile.hpp"
+#include "query/engine.hpp"
 #include "support/io.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
@@ -41,11 +46,14 @@ namespace {
 
 struct Stages {
   double compile = 0, run = 0, build = 0, merge = 0, serialize = 0, flate = 0;
-  // ru_maxrss (KiB) sampled at each stage boundary. The kernel counter
-  // is a monotone process-wide high-water mark, so rssKb[i] reads as
-  // "peak RSS up to and including stage i", and only the first rep of
-  // the first row sees fresh marks — later samples inherit whatever
-  // high water earlier work already set.
+  // ru_maxrss (KiB) sampled before AND after each stage, recording the
+  // max — so allocations that live only inside a stage still show up in
+  // its mark even on platforms where the counter reads current rather
+  // than peak RSS. On Linux the kernel counter is a monotone
+  // process-wide high-water mark, so rssKb[i] reads as "peak RSS up to
+  // and including stage i", and only the first rep of the first row
+  // sees fresh marks — later samples inherit whatever high water
+  // earlier work already set.
   uint64_t rssKb[6] = {};
   double total() const {
     return compile + run + build + merge + serialize + flate;
@@ -58,12 +66,21 @@ Stages timeOnce(const std::string& name, int procs, int threads) {
   Stages t;
   Stopwatch sw;
 
+  // Pre-stage RSS sample; stampRss records max(before, after) for the
+  // stage just finished and rolls the sample forward.
+  uint64_t rssBefore = io::peakRssBytes();
+  auto stampRss = [&](int i) {
+    const uint64_t after = io::peakRssBytes();
+    t.rssKb[i] = std::max(rssBefore, after) >> 10;
+    rssBefore = after;
+  };
+
   // compile: MiniC front end + CYPRESS static phase (CST construction).
   auto module = minic::compileProgram(source);
   cst::StaticResult sr = cst::analyzeAndInstrument(*module);
   cst::Tree cst = std::move(sr.cst);
   t.compile = sw.seconds();
-  t.rssKb[0] = io::peakRssBytes() >> 10;
+  stampRss(0);
 
   // run: traced simulated execution (epoch-parallel local phases).
   sw.restart();
@@ -92,7 +109,7 @@ Stages timeOnce(const std::string& name, int procs, int threads) {
   runOpts.threads = threads;
   vm::run(*module, engine, obs, runOpts);
   t.run = sw.seconds();
-  t.rssKb[1] = io::peakRssBytes() >> 10;
+  stampRss(1);
 
   // build: per-rank CYPP trace files, streamed serialize→compress per
   // rank (pool tasks) — the CTT byte stream never exists whole.
@@ -108,7 +125,7 @@ Stages timeOnce(const std::string& name, int procs, int threads) {
     rankFiles[r] = sink.take();
   });
   t.build = sw.seconds();
-  t.rssKb[2] = io::peakRssBytes() >> 10;
+  stampRss(2);
 
   // merge: the O(n log P) inter-process reduction.
   sw.restart();
@@ -116,7 +133,7 @@ Stages timeOnce(const std::string& name, int procs, int threads) {
   for (const auto& c : cypress) ctts.push_back(&c->ctt());
   core::MergedCtt merged = core::mergeAll(std::move(ctts), nullptr, threads);
   t.merge = sw.seconds();
-  t.rssKb[3] = io::peakRssBytes() >> 10;
+  stampRss(3);
 
   // serialize: walk the merged CYPC + raw CYTR producers through a
   // counting sink — the serialization work without any buffer.
@@ -137,7 +154,7 @@ Stages timeOnce(const std::string& name, int procs, int threads) {
     rawSize = w.size();
   }
   t.serialize = sw.seconds();
-  t.rssKb[4] = io::peakRssBytes() >> 10;
+  stampRss(4);
 
   // flate: the fused serialize→compress chain over both producers —
   // includes a second serialization walk (the price of never holding
@@ -154,7 +171,7 @@ Stages timeOnce(const std::string& name, int procs, int threads) {
   const auto gz = streamFlate(raw);
   const auto cypGz = streamFlate(merged);
   t.flate = sw.seconds();
-  t.rssKb[5] = io::peakRssBytes() >> 10;
+  stampRss(5);
   (void)gz;
   (void)cypGz;
   (void)rankFiles;
@@ -197,9 +214,9 @@ int main(int argc, char** argv) {
   json += "  \"hardware_concurrency\": " + std::to_string(hw) + ",\n";
   json += "  \"shard_bytes\": " + std::to_string(flate::kShardBytes) + ",\n";
   json += "  \"reps\": " + std::to_string(reps) + ",\n";
-  json += "  \"rss_note\": \"ru_maxrss high-water mark (KiB) at each stage "
-          "boundary of rep 0; monotone within a process, so only the first "
-          "row's marks are unpolluted by earlier rows\",\n";
+  json += "  \"rss_note\": \"ru_maxrss (KiB) sampled before and after each "
+          "stage of rep 0, max recorded; monotone within a process, so only "
+          "the first row's marks are unpolluted by earlier rows\",\n";
   json += "  \"entries\": [\n";
   bool first = true;
   bool anyOversubscribed = false;
@@ -343,6 +360,14 @@ int main(int argc, char** argv) {
               "cypress", "cypress+gz"});
   json += "  \"size_vs_procs\": [\n";
   bool sweepFirst = true;
+  struct QueryPoint {
+    std::string workload;
+    int procs = 0;
+    size_t events = 0;
+    double queryS = 0, scanS = 0;
+    bool identical = false;
+  };
+  std::vector<QueryPoint> queryPoints;
   for (const char* wname : {"JACOBI", "EP"}) {
     for (int procs : {64, 512, 4096}) {
       driver::Options o;
@@ -368,8 +393,69 @@ int main(int argc, char** argv) {
           rep.cypressGzipBytes);
       json += buf;
       sweepFirst = false;
+
+      // query stage: the comm-matrix query answered on the compressed
+      // form vs the decompress-then-scan oracle, both single-threaded —
+      // the committed baseline for the speedup-vs-P curve. The reuse of
+      // this sweep's runs keeps the bench wall time flat.
+      QueryPoint qp;
+      qp.workload = wname;
+      qp.procs = procs;
+      qp.events = run.raw.totalEvents();
+      const core::MergedCtt merged = driver::mergeCypress(run);
+      qp.identical = true;
+      for (int i = 0; i < reps; ++i) {
+        Stopwatch qw;
+        const auto cells = query::commMatrix(merged, 1);
+        const double qs = qw.seconds();
+        qw.restart();
+        const trace::RawTrace expanded = core::decompressAll(merged, procs);
+        const auto oracle = query::commMatrixFromRaw(expanded);
+        const double ss = qw.seconds();
+        qp.identical = qp.identical && query::renderMatrix(cells) ==
+                                           query::renderMatrix(oracle);
+        if (i == 0 || qs < qp.queryS) qp.queryS = qs;
+        if (i == 0 || ss < qp.scanS) qp.scanS = ss;
+      }
+      queryPoints.push_back(std::move(qp));
     }
   }
+  json += "\n  ],\n";
+
+  // -- query on compressed vs decompress-then-scan: the compressed-
+  // domain engine reads CommRecord repeat counts, so its cost tracks the
+  // compressed size while the oracle's tracks the event count — the gap
+  // must widen with P.
+  bench::header("cyperf — comm-matrix query: compressed vs decompress+scan",
+                "single-threaded; identical output required, gap grows with P");
+  bench::row({"program", "procs", "events", "query", "decomp+scan", "speedup",
+              "identical"});
+  json += "  \"query_note\": \"comm-matrix query, best of reps, 1 thread — "
+          "the committed baseline; parallel query speedups depend on "
+          "hardware_concurrency above\",\n";
+  json += "  \"query_vs_decompress\": [\n";
+  double headlineSpeedup = 0;
+  for (size_t i = 0; i < queryPoints.size(); ++i) {
+    const QueryPoint& qp = queryPoints[i];
+    const double speedup = qp.scanS / std::max(qp.queryS, 1e-12);
+    if (qp.workload == "JACOBI" && qp.procs == 4096) headlineSpeedup = speedup;
+    char spd[32];
+    std::snprintf(spd, sizeof spd, "%.1fx", speedup);
+    bench::row({qp.workload, std::to_string(qp.procs),
+                std::to_string(qp.events), bench::secs(qp.queryS),
+                bench::secs(qp.scanS), spd, qp.identical ? "yes" : "NO"});
+    char buf[320];
+    std::snprintf(
+        buf, sizeof buf,
+        "%s    {\"workload\": \"%s\", \"procs\": %d, \"events\": %zu, "
+        "\"query_s\": %.6f, \"decomp_scan_s\": %.6f, \"speedup\": %.2f, "
+        "\"identical\": %s}",
+        i == 0 ? "" : ",\n", qp.workload.c_str(), qp.procs, qp.events,
+        qp.queryS, qp.scanS, speedup, qp.identical ? "true" : "false");
+    json += buf;
+  }
+  std::printf("  query-on-compressed speedup at P=4096 (JACOBI): %.1fx\n",
+              headlineSpeedup);
   json += "\n  ]\n}\n";
 
   std::FILE* f = std::fopen(outPath.c_str(), "w");

@@ -1,0 +1,129 @@
+// Canonical JSON emission for query results.
+//
+// Both the compressed-domain engine and the decompress-then-scan oracle
+// render through this writer, so "byte-identical JSON" in the
+// equivalence tests means exactly "equal data": one field order, one
+// integer formatting, no whitespace variance, no floats. Output is
+// compact single-line JSON (objects keep insertion order).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace cypress::query {
+
+class JsonWriter {
+ public:
+  JsonWriter& beginObject() {
+    comma();
+    out_ += '{';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& endObject() {
+    pop();
+    out_ += '}';
+    return *this;
+  }
+  JsonWriter& beginArray() {
+    comma();
+    out_ += '[';
+    first_.push_back(true);
+    return *this;
+  }
+  JsonWriter& endArray() {
+    pop();
+    out_ += ']';
+    return *this;
+  }
+
+  JsonWriter& key(const char* k) {
+    comma();
+    appendString(k);
+    out_ += ':';
+    pendingKey_ = true;
+    return *this;
+  }
+
+  JsonWriter& value(int64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(uint64_t v) {
+    comma();
+    out_ += std::to_string(v);
+    return *this;
+  }
+  JsonWriter& value(int32_t v) { return value(static_cast<int64_t>(v)); }
+  JsonWriter& value(bool v) {
+    comma();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonWriter& value(const std::string& s) {
+    comma();
+    appendString(s.c_str());
+    return *this;
+  }
+  JsonWriter& value(const char* s) {
+    comma();
+    appendString(s);
+    return *this;
+  }
+
+  const std::string& str() const {
+    CYP_CHECK(first_.empty(), "json: unterminated container");
+    return out_;
+  }
+
+ private:
+  void comma() {
+    if (pendingKey_) {
+      pendingKey_ = false;
+      return;
+    }
+    if (!first_.empty()) {
+      if (!first_.back()) out_ += ',';
+      first_.back() = false;
+    }
+  }
+  void pop() {
+    CYP_CHECK(!first_.empty(), "json: container underflow");
+    first_.pop_back();
+    if (!first_.empty()) first_.back() = false;
+    pendingKey_ = false;
+  }
+  void appendString(const char* s) {
+    out_ += '"';
+    for (; *s; ++s) {
+      const char c = *s;
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> first_;
+  bool pendingKey_ = false;
+};
+
+}  // namespace cypress::query

@@ -1,0 +1,126 @@
+#include "query/query.hpp"
+
+#include <sstream>
+
+#include "query/engine.hpp"
+#include "support/error.hpp"
+
+namespace cypress::query {
+
+namespace {
+
+int64_t parseInt(const std::string& key, const std::string& value) {
+  try {
+    size_t pos = 0;
+    const int64_t v = std::stoll(value, &pos);
+    CYP_CHECK(pos == value.size(), "query: bad number '" << value << "' for "
+                                                         << key);
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("query: bad number '" + value + "' for " + key);
+  }
+}
+
+}  // namespace
+
+QuerySpec QuerySpec::parse(const std::string& text) {
+  std::istringstream in(text);
+  std::string head;
+  in >> head;
+  QuerySpec q;
+  if (head == "summary") {
+    q.kind = Kind::Summary;
+  } else if (head == "hist" || head == "histogram") {
+    q.kind = Kind::Histogram;
+  } else if (head == "matrix") {
+    q.kind = Kind::Matrix;
+  } else if (head == "colls" || head == "collectives") {
+    q.kind = Kind::Collectives;
+  } else if (head == "callsites") {
+    q.kind = Kind::CallSites;
+  } else {
+    throw Error("query: unknown query kind '" + head +
+                "' (expected summary|hist|matrix|colls|callsites)");
+  }
+
+  bool haveSrc = false, haveDst = false, haveIter = false;
+  std::string tok;
+  while (in >> tok) {
+    const size_t eq = tok.find('=');
+    CYP_CHECK(eq != std::string::npos && eq > 0 && eq + 1 < tok.size(),
+              "query: expected key=value, got '" << tok << "'");
+    const std::string key = tok.substr(0, eq);
+    const std::string value = tok.substr(eq + 1);
+    CYP_CHECK(q.kind == Kind::CallSites,
+              "query: '" << head << "' takes no arguments");
+    if (key == "src") {
+      q.src = static_cast<int32_t>(parseInt(key, value));
+      haveSrc = true;
+    } else if (key == "dst") {
+      q.dst = static_cast<int32_t>(parseInt(key, value));
+      haveDst = true;
+    } else if (key == "iter") {
+      const int64_t v = parseInt(key, value);
+      CYP_CHECK(v >= 0, "query: iter must be >= 0");
+      q.iter = static_cast<uint64_t>(v);
+      haveIter = true;
+    } else if (key == "loop") {
+      q.loopGid = static_cast<int>(parseInt(key, value));
+    } else {
+      throw Error("query: unknown argument '" + key + "'");
+    }
+  }
+  if (q.kind == Kind::CallSites) {
+    CYP_CHECK(haveSrc && haveDst && haveIter,
+              "query: callsites needs src=A dst=B iter=K");
+    CYP_CHECK(q.src >= 0 && q.dst >= 0, "query: ranks must be >= 0");
+  }
+  return q;
+}
+
+std::string QuerySpec::toString() const {
+  switch (kind) {
+    case Kind::Summary: return "summary";
+    case Kind::Histogram: return "hist";
+    case Kind::Matrix: return "matrix";
+    case Kind::Collectives: return "colls";
+    case Kind::CallSites: {
+      std::ostringstream os;
+      os << "callsites src=" << src << " dst=" << dst << " iter=" << iter;
+      if (loopGid >= 0) os << " loop=" << loopGid;
+      return os.str();
+    }
+  }
+  return "?";
+}
+
+std::string runQuery(const core::MergedCtt& m, const QuerySpec& spec,
+                     int threads) {
+  switch (spec.kind) {
+    case QuerySpec::Kind::Summary:
+      return renderSummary(summary(m, threads), m.lostRanks());
+    case QuerySpec::Kind::Histogram:
+      return renderHistogram(histogram(m, threads));
+    case QuerySpec::Kind::Matrix:
+      return renderMatrix(commMatrix(m, threads));
+    case QuerySpec::Kind::Collectives:
+      return renderCollectives(collectives(m));
+    case QuerySpec::Kind::CallSites: {
+      const int gid =
+          spec.loopGid >= 0 ? spec.loopGid : defaultLoopGid(m.cst());
+      return renderCallSites(
+          callSitesAt(m, spec.src, spec.dst, spec.iter, spec.loopGid),
+          spec.src, spec.dst, spec.iter, gid);
+    }
+  }
+  CYP_FAIL("query: bad spec kind");
+}
+
+std::string runQuery(const core::MergedCtt& m, const std::string& spec,
+                     int threads) {
+  return runQuery(m, QuerySpec::parse(spec), threads);
+}
+
+}  // namespace cypress::query

@@ -1,0 +1,41 @@
+// Textual query specs and the one-call evaluation entry point shared by
+// the cyptrace CLI, the cyptraced QUERY job class, and compare.
+//
+// Grammar (docs/QUERY.md):
+//   summary
+//   hist
+//   matrix
+//   colls
+//   callsites src=A dst=B iter=K [loop=GID]
+//
+// Evaluation is compressed-domain throughout (see engine.hpp);
+// runQuery() returns one canonical JSON object per spec. Malformed
+// specs and unanswerable queries throw cypress::Error.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cypress/merge.hpp"
+
+namespace cypress::query {
+
+struct QuerySpec {
+  enum class Kind { Summary, Histogram, Matrix, Collectives, CallSites };
+  Kind kind = Kind::Summary;
+  int32_t src = -1;     // CallSites
+  int32_t dst = -1;     // CallSites
+  uint64_t iter = 0;    // CallSites
+  int loopGid = -1;     // CallSites: -1 = default loop
+
+  static QuerySpec parse(const std::string& text);
+  std::string toString() const;
+};
+
+/// Evaluate one spec against a merged trace; returns canonical JSON.
+std::string runQuery(const core::MergedCtt& m, const QuerySpec& spec,
+                     int threads = 1);
+std::string runQuery(const core::MergedCtt& m, const std::string& spec,
+                     int threads = 1);
+
+}  // namespace cypress::query

@@ -5,6 +5,9 @@
 #include <map>
 #include <sstream>
 
+#include "cypress/merge.hpp"
+#include "query/cursor.hpp"
+#include "query/engine.hpp"
 #include "support/error.hpp"
 
 namespace cypress::replay {
@@ -12,6 +15,51 @@ namespace cypress::replay {
 namespace {
 
 using trace::Event;
+
+/// Event-at-a-time feed for one simulation: the simulator only reads
+/// each rank's current event and advances past it, so sources can
+/// stream straight off the compressed trace.
+class EventSource {
+ public:
+  virtual ~EventSource() = default;
+  virtual size_t numRanks() const = 0;
+  /// Rank r's current event; nullptr when r is exhausted. The pointer
+  /// stays valid until advance(r).
+  virtual const Event* current(size_t r) = 0;
+  virtual void advance(size_t r) = 0;
+};
+
+class RawSource final : public EventSource {
+ public:
+  explicit RawSource(const trace::RawTrace& t)
+      : t_(t), next_(t.ranks.size(), 0) {}
+  size_t numRanks() const override { return t_.ranks.size(); }
+  const Event* current(size_t r) override {
+    const auto& ev = t_.ranks[r].events;
+    return next_[r] < ev.size() ? &ev[next_[r]] : nullptr;
+  }
+  void advance(size_t r) override { ++next_[r]; }
+
+ private:
+  const trace::RawTrace& t_;
+  std::vector<size_t> next_;
+};
+
+class CompressedSource final : public EventSource {
+ public:
+  CompressedSource(const core::MergedCtt& m, int numRanks) {
+    cursors_.reserve(static_cast<size_t>(numRanks));
+    for (int r = 0; r < numRanks; ++r) cursors_.emplace_back(m, r);
+  }
+  size_t numRanks() const override { return cursors_.size(); }
+  const Event* current(size_t r) override {
+    return cursors_[r].done() ? nullptr : &cursors_[r].peek();
+  }
+  void advance(size_t r) override { cursors_[r].next(); }
+
+ private:
+  std::vector<query::CompressedCursor> cursors_;
+};
 
 /// FIFO channel key for p2p matching.
 struct ChanKey {
@@ -30,11 +78,11 @@ struct OutstandingReq {
 
 class Sim {
  public:
-  Sim(const trace::RawTrace& t, const simmpi::LogGP& net) : t_(t), net_(net) {
-    const size_t n = t.ranks.size();
+  Sim(EventSource& src, const simmpi::LogGP& net) : src_(src), net_(net) {
+    const size_t n = src.numRanks();
     clock_.assign(n, 0);
     comm_.assign(n, 0);
-    next_.assign(n, 0);
+    consumed_.assign(n, 0);
     outstanding_.resize(n);
     collSeq_.resize(n);
     computeChargedIdx_.assign(n, -1);
@@ -43,7 +91,7 @@ class Sim {
   }
 
   Prediction run() {
-    const int n = static_cast<int>(t_.ranks.size());
+    const int n = static_cast<int>(src_.numRanks());
     int finished = 0;
     std::vector<bool> done(static_cast<size_t>(n), false);
     while (finished < n) {
@@ -51,8 +99,7 @@ class Sim {
       for (int r = 0; r < n; ++r) {
         if (done[static_cast<size_t>(r)]) continue;
         while (step(r)) progress = true;
-        if (next_[static_cast<size_t>(r)] >=
-            t_.ranks[static_cast<size_t>(r)].events.size()) {
+        if (src_.current(static_cast<size_t>(r)) == nullptr) {
           done[static_cast<size_t>(r)] = true;
           ++finished;
           progress = true;
@@ -63,12 +110,9 @@ class Sim {
         os << "replay deadlock:";
         for (int r = 0; r < n; ++r) {
           if (!done[static_cast<size_t>(r)]) {
-            os << " rank " << r << " at event " << next_[static_cast<size_t>(r)]
-               << " ("
-               << t_.ranks[static_cast<size_t>(r)]
-                      .events[next_[static_cast<size_t>(r)]]
-                      .toString()
-               << ")";
+            os << " rank " << r << " at event "
+               << consumed_[static_cast<size_t>(r)] << " ("
+               << src_.current(static_cast<size_t>(r))->toString() << ")";
           }
         }
         throw Error(os.str());
@@ -79,17 +123,16 @@ class Sim {
     p.rankClockNs = clock_;
     p.rankCommNs = comm_;
     for (uint64_t c : clock_) p.predictedNs = std::max(p.predictedNs, c);
-    p.totalEvents = t_.totalEvents();
+    p.totalEvents = totalEvents_;
     return p;
   }
 
  private:
   /// Attempt the next event of rank r. Returns true when it completed.
   bool step(int r) {
-    const auto& events = t_.ranks[static_cast<size_t>(r)].events;
-    const size_t idx = next_[static_cast<size_t>(r)];
-    if (idx >= events.size()) return false;
-    const Event& e = events[idx];
+    const Event* ep = src_.current(static_cast<size_t>(r));
+    if (ep == nullptr) return false;
+    const Event& e = *ep;
 
     switch (e.op) {
       case ir::MpiOp::Send:
@@ -207,7 +250,7 @@ class Sim {
   /// Charge the event's pre-op computation exactly once even when the
   /// op itself blocks and is retried.
   void chargeCompute(int r, const Event& e) {
-    const auto idx = static_cast<int64_t>(next_[static_cast<size_t>(r)]);
+    const auto idx = static_cast<int64_t>(consumed_[static_cast<size_t>(r)]);
     if (computeChargedIdx_[static_cast<size_t>(r)] == idx) return;
     clock_[static_cast<size_t>(r)] += e.computeNs;
     computeChargedIdx_[static_cast<size_t>(r)] = idx;
@@ -219,7 +262,9 @@ class Sim {
   }
 
   bool finishEvent(int r) {
-    ++next_[static_cast<size_t>(r)];
+    src_.advance(static_cast<size_t>(r));
+    ++consumed_[static_cast<size_t>(r)];
+    ++totalEvents_;
     return true;
   }
 
@@ -306,7 +351,7 @@ class Sim {
       if (c.arrived == 0) {
         c.op = e.op;
         c.bytes = e.op == ir::MpiOp::CommSplit ? 0 : e.bytes;
-        c.arrivals.assign(t_.ranks.size(), 0);
+        c.arrivals.assign(src_.numRanks(), 0);
       } else {
         CYP_CHECK(c.op == e.op &&
                       (e.op == ir::MpiOp::CommSplit || c.bytes == e.bytes),
@@ -360,7 +405,7 @@ class Sim {
 
   const std::vector<int>& commMembers(int comm) {
     if (comm == 0 && commMembers_.find(0) == commMembers_.end()) {
-      std::vector<int> world(t_.ranks.size());
+      std::vector<int> world(src_.numRanks());
       for (size_t i = 0; i < world.size(); ++i) world[i] = static_cast<int>(i);
       commMembers_[0] = std::move(world);
     }
@@ -369,10 +414,11 @@ class Sim {
     return it->second;
   }
 
-  const trace::RawTrace& t_;
+  EventSource& src_;
   simmpi::LogGP net_;
+  uint64_t totalEvents_ = 0;
   std::vector<uint64_t> clock_, comm_;
-  std::vector<size_t> next_;
+  std::vector<size_t> consumed_;
   std::map<ChanKey, std::deque<uint64_t>> channels_;  // message avail times
   std::vector<std::vector<OutstandingReq>> outstanding_;
   std::vector<std::map<int, int>> collSeq_;
@@ -398,9 +444,38 @@ double Prediction::commPercent() const {
   return counted ? 100.0 * total / counted : 0.0;
 }
 
+namespace {
+
+/// Replay needs every rank of the world present: a partial trace cannot
+/// satisfy its own collectives and p2p matches. Returns the world size.
+int checkFullCoverage(const core::MergedCtt& m) {
+  const RankSet covered = query::coveredRanks(m);
+  CYP_CHECK(!covered.empty(), "replay: empty trace");
+  if (!m.lostRanks().empty()) {
+    std::ostringstream os;
+    os << "replay: merged trace is missing lost ranks:";
+    for (int32_t r : m.lostRanks().ranks()) os << " " << r;
+    throw Error(os.str());
+  }
+  const int numRanks = covered.ranks().back() + 1;
+  CYP_CHECK(covered.size() == static_cast<size_t>(numRanks),
+            "replay: rank coverage is not contiguous ("
+                << covered.size() << " of " << numRanks << " ranks)");
+  return numRanks;
+}
+
+}  // namespace
+
 Prediction simulate(const trace::RawTrace& t, const simmpi::LogGP& net) {
   CYP_CHECK(!t.ranks.empty(), "replay: empty trace");
-  return Sim(t, net).run();
+  RawSource src(t);
+  return Sim(src, net).run();
+}
+
+Prediction simulate(const core::MergedCtt& m, const simmpi::LogGP& net) {
+  const int numRanks = checkFullCoverage(m);
+  CompressedSource src(m, numRanks);
+  return Sim(src, net).run();
 }
 
 Prediction simulateRecordedTimes(const trace::RawTrace& t) {
@@ -417,6 +492,36 @@ Prediction simulateRecordedTimes(const trace::RawTrace& t) {
     }
     p.rankClockNs[r] = clock;
     p.rankCommNs[r] = comm;
+    p.predictedNs = std::max(p.predictedNs, clock);
+  }
+  return p;
+}
+
+Prediction simulateRecordedTimes(const core::MergedCtt& m) {
+  const int numRanks = checkFullCoverage(m);
+  Prediction p;
+  p.rankClockNs.assign(static_cast<size_t>(numRanks), 0);
+  p.rankCommNs.assign(static_cast<size_t>(numRanks), 0);
+  const int n = m.cst().numNodes();
+  for (int r = 0; r < numRanks; ++r) {
+    uint64_t clock = 0, comm = 0;
+    for (int g = 0; g < n; ++g) {
+      for (const core::LeafEntry& e : m.leafEntries(g)) {
+        if (!e.ranks.contains(r)) continue;
+        for (const core::CommRecord& rec : e.records) {
+          // Decompressed events carry the record's rounded means, so
+          // count * rounded-mean reproduces the expanded sums exactly.
+          const auto dur = static_cast<uint64_t>(rec.duration.mean());
+          const auto cmp = static_cast<uint64_t>(rec.compute.mean());
+          clock += rec.count * (cmp + dur);
+          comm += rec.count * dur;
+          p.totalEvents += rec.count;
+        }
+        break;
+      }
+    }
+    p.rankClockNs[static_cast<size_t>(r)] = clock;
+    p.rankCommNs[static_cast<size_t>(r)] = comm;
     p.predictedNs = std::max(p.predictedNs, clock);
   }
   return p;

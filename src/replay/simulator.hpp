@@ -1,12 +1,18 @@
 // SIM-MPI: the trace-driven performance simulator (paper §V, Fig. 14).
 //
-// Replays decompressed per-rank event sequences under the LogGP model:
-// point-to-point operations are matched through FIFO channels keyed by
+// Replays per-rank event sequences under the LogGP model: point-to-point
+// operations are matched through FIFO channels keyed by
 // (src, dst, tag, comm); collectives are decomposed into p2p trees via
 // the same cost model as the engine; local computation uses the
 // recorded per-event compute times. Because CYPRESS decompression is
 // sequence-preserving (including wildcard match sources), the replay is
 // fully deterministic.
+//
+// The simulator only ever inspects each rank's *current* event, so it
+// consumes an event-at-a-time source rather than materialized vectors:
+// the MergedCtt overloads drive it straight off the compressed trace
+// through query::CompressedCursor — per-rank memory is the cursor
+// state, not the decompressed event vector.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,10 @@
 
 #include "simmpi/netmodel.hpp"
 #include "trace/event.hpp"
+
+namespace cypress::core {
+class MergedCtt;
+}
 
 namespace cypress::replay {
 
@@ -32,10 +42,26 @@ struct Prediction {
 Prediction simulate(const trace::RawTrace& t,
                     const simmpi::LogGP& net = simmpi::LogGP::infiniband());
 
+/// Simulate directly from the compressed trace: each rank streams its
+/// events through a CompressedCursor, so peak memory is the cursor
+/// state, not numRanks full event vectors. Identical prediction to
+/// simulate(decompressAll(m, ...), net). Throws cypress::Error when the
+/// trace has lost ranks or non-contiguous coverage (a partial trace
+/// cannot satisfy its own collectives).
+Prediction simulate(const core::MergedCtt& m,
+                    const simmpi::LogGP& net = simmpi::LogGP::infiniband());
+
 /// Timed replay: instead of modeling the network, advance each rank by
 /// its recorded per-event times (compute + operation duration). This is
 /// the delta-time replay style of Ratn et al. (paper §VIII) — cheap,
 /// no matching, and a useful cross-check against the LogGP model.
 Prediction simulateRecordedTimes(const trace::RawTrace& t);
+
+/// Compressed-domain timed replay: the per-rank sums are computed from
+/// CommRecord repeat counts in O(compressed size). Equals
+/// simulateRecordedTimes(decompressAll(m, ...)) exactly, because every
+/// decompressed event of a record carries the record's rounded mean
+/// times.
+Prediction simulateRecordedTimes(const core::MergedCtt& m);
 
 }  // namespace cypress::replay

@@ -12,7 +12,10 @@ namespace {
 
 constexpr uint8_t kSubmitSegment = 0;
 constexpr uint8_t kStateSegment = 1;
-constexpr uint64_t kLedgerVersion = 1;
+// v2: JobSpec grew querySpec (protocol v2); old ledgers are not
+// readable across the format change, matching the strict version check
+// in recover().
+constexpr uint64_t kLedgerVersion = 2;
 
 std::string checkedStr(ByteReader& r) {
   const uint64_t n = r.checkedCount(r.uv(), 1);

@@ -27,7 +27,7 @@ std::string checkedStr(ByteReader& r) {
 }
 
 JobKind decodeKind(uint8_t v) {
-  CYP_CHECK(v <= static_cast<uint8_t>(JobKind::Recover),
+  CYP_CHECK(v <= static_cast<uint8_t>(JobKind::Query),
             "protocol: unknown job kind " << int(v));
   return static_cast<JobKind>(v);
 }
@@ -51,6 +51,7 @@ const char* toString(JobKind k) {
     case JobKind::Compress: return "compress";
     case JobKind::Verify: return "verify";
     case JobKind::Recover: return "recover";
+    case JobKind::Query: return "query";
   }
   return "?";
 }
@@ -124,6 +125,7 @@ void JobSpec::serialize(ByteWriter& w) const {
   w.u8(faultsTransient ? 1 : 0);
   w.uv(deadlineMs);
   w.uv(maxAttempts);
+  w.str(querySpec);
 }
 
 JobSpec JobSpec::deserialize(ByteReader& r) {
@@ -147,6 +149,7 @@ JobSpec JobSpec::deserialize(ByteReader& r) {
   s.maxAttempts = static_cast<uint32_t>(r.uv());
   CYP_CHECK(s.maxAttempts <= 1000,
             "protocol: implausible attempt budget " << s.maxAttempts);
+  s.querySpec = checkedStr(r);
   return s;
 }
 

@@ -29,7 +29,7 @@
 
 namespace cypress::service {
 
-constexpr uint32_t kProtocolVersion = 1;
+constexpr uint32_t kProtocolVersion = 2;
 /// Largest frame payload a peer may send (1 MiB): large enough for a
 /// MiniC source or a long job list, small enough that a hostile length
 /// prefix cannot balloon memory.
@@ -57,7 +57,16 @@ class FrameDecoder {
 /// What a job does. Run traces a workload/source through the CYPRESS
 /// pipeline; the others wrap one CLI operation each so scripts can farm
 /// them out to the daemon.
-enum class JobKind : uint8_t { Run = 0, Compress = 1, Verify = 2, Recover = 3 };
+enum class JobKind : uint8_t {
+  Run = 0,
+  Compress = 1,
+  Verify = 2,
+  Recover = 3,
+  /// Answer a compressed-domain query (see src/query/) against a trace
+  /// file, writing canonical JSON as the artifact. Added in protocol
+  /// version 2 along with JobSpec::querySpec.
+  Query = 4,
+};
 
 /// Job lifecycle: ACCEPTED → RUNNING → {DONE, FAILED, FAILED_DISK,
 /// CANCELLED}, with RUNNING → ACCEPTED on a retryable failure (attempt
@@ -101,6 +110,10 @@ struct JobSpec {
   bool faultsTransient = false;
   uint64_t deadlineMs = 0;   ///< per-attempt wall deadline; 0 = server default
   uint32_t maxAttempts = 0;  ///< attempt budget; 0 = server default
+  /// Query only: the query text in the src/query grammar
+  /// (summary | hist | matrix | colls | callsites src=A dst=B iter=K
+  /// [loop=GID]).
+  std::string querySpec;
 
   void serialize(ByteWriter& w) const;
   static JobSpec deserialize(ByteReader& r);

@@ -6,8 +6,10 @@
 #include <filesystem>
 #include <fstream>
 
+#include "cypress/merge.hpp"
 #include "driver/pipeline.hpp"
 #include "flate/flate.hpp"
+#include "query/query.hpp"
 #include "support/rng.hpp"
 #include "support/thread_pool.hpp"
 #include "verify/roundtrip.hpp"
@@ -495,6 +497,29 @@ JobServer::AttemptResult JobServer::runAttempt(
         res.outcome = Outcome::Permanent;
         res.detail = "verification failed: " + firstLine(rep.toString());
       }
+      return res;
+    }
+
+    case JobKind::Query: {
+      // Compressed-domain analysis: the trace is never decompressed.
+      // The validated query spec and the deserializer both raise
+      // cypress::Error on bad input, which lands in Outcome::Permanent
+      // like any other malformed job.
+      const auto input = readBytes(spec.target);
+      cst::Tree tree;
+      core::MergedCtt merged =
+          core::MergedCtt::deserializeWithTree(input, tree);
+      const std::string json =
+          query::runQuery(merged, spec.querySpec, cfg_.threadsPerJob);
+      res.artifactPath = base + ".json";
+      io::writeFileAtomic(*io_, res.artifactPath,
+                          std::span<const uint8_t>(
+                              reinterpret_cast<const uint8_t*>(json.data()),
+                              json.size()));
+      res.artifactBytes = json.size();
+      res.outcome = Outcome::Ok;
+      res.detail = "query '" + spec.querySpec + "' -> " +
+                   std::to_string(json.size()) + " bytes";
       return res;
     }
 

@@ -119,6 +119,43 @@ class SectionSeq {
     CYP_FAIL("unreachable");
   }
 
+  /// Sum of the first `k` values, computed per section with the
+  /// arithmetic-series formula — O(#sections), never O(k). This is what
+  /// lets the query engine map a loop-activation range to a body
+  /// execution range without expanding iteration counts.
+  int64_t prefixSum(uint64_t k) const {
+    CYP_CHECK(k <= total_, "SectionSeq prefix " << k << " out of " << total_);
+    int64_t sum = 0;
+    for (const Section& s : segs_) {
+      if (k == 0) break;
+      const uint64_t take = k < s.count ? k : s.count;
+      const auto t = static_cast<int64_t>(take);
+      sum += s.start * t + s.stride * ((t - 1) * t / 2);
+      k -= take;
+    }
+    return sum;
+  }
+
+  /// Sum of all values.
+  int64_t sum() const { return prefixSum(total_); }
+
+  /// Number of values strictly below `v` — exact per-section counting
+  /// for any stride sign, O(#sections). For the non-decreasing
+  /// sequences the CTT stores (execution ordinals, branch outcomes,
+  /// record occurrence ordinals) this doubles as a lower bound: it maps
+  /// an execution-ordinal range to an occurrence-index range.
+  uint64_t countBelow(int64_t v) const {
+    uint64_t n = 0;
+    for (const Section& s : segs_) n += sectionCountBelow(s, v);
+    return n;
+  }
+
+  /// Number of values in the half-open range [lo, hi).
+  uint64_t countInRange(int64_t lo, int64_t hi) const {
+    if (hi <= lo) return 0;
+    return countBelow(hi) - countBelow(lo);
+  }
+
   /// Materialize all values (tests / small sequences only).
   std::vector<int64_t> expand() const {
     std::vector<int64_t> out;
@@ -206,6 +243,23 @@ class SectionSeq {
   }
 
  private:
+  /// Count of i in [0, count) with start + stride*i < v.
+  static uint64_t sectionCountBelow(const Section& s, int64_t v) {
+    if (s.stride == 0) return s.start < v ? s.count : 0;
+    if (s.stride > 0) {
+      if (s.start >= v) return 0;
+      const uint64_t n =
+          static_cast<uint64_t>((v - 1 - s.start) / s.stride) + 1;
+      return n < s.count ? n : s.count;
+    }
+    // Negative stride: the values >= v form a prefix; count it and
+    // subtract.
+    const int64_t d = -s.stride;
+    if (s.start < v) return s.count;
+    const uint64_t ge = static_cast<uint64_t>((s.start - v) / d) + 1;
+    return s.count - (ge < s.count ? ge : s.count);
+  }
+
   std::vector<Section> segs_;
   uint64_t total_ = 0;
 };

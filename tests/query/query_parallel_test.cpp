@@ -1,0 +1,52 @@
+// Determinism of the parallel query evaluators: per-rank work is dealt
+// in fixed contiguous chunks and each lane owns its ranks' rows, so the
+// rendered JSON must be byte-identical at any thread count (and under
+// TSan this doubles as the data-race check on the shared pool path).
+#include <gtest/gtest.h>
+
+#include "driver/pipeline.hpp"
+#include "query/query.hpp"
+#include "support/thread_pool.hpp"
+
+namespace cypress::query {
+namespace {
+
+/// MergedCtt references the CST by pointer; carry the tree along.
+struct Compressed {
+  std::shared_ptr<const cst::Tree> tree;
+  core::MergedCtt m;
+};
+
+Compressed mergedFor(const std::string& workload, int procs) {
+  driver::Options opts;
+  opts.procs = procs;
+  opts.withScala = false;
+  opts.withScala2 = false;
+  driver::RunOutput run = driver::runWorkload(workload, opts);
+  return Compressed{run.cst, driver::mergeCypress(run)};
+}
+
+TEST(QueryParallel, ByteIdenticalAcrossThreadCounts) {
+  ThreadPool::configureShared(8);
+  for (const char* w : {"JACOBI", "CG"}) {
+    SCOPED_TRACE(w);
+    const Compressed c = mergedFor(w, 32);
+    const core::MergedCtt& m = c.m;
+    for (const char* q : {"summary", "hist", "matrix"}) {
+      const std::string one = runQuery(m, q, 1);
+      for (int threads : {2, 3, 8}) {
+        EXPECT_EQ(one, runQuery(m, q, threads))
+            << w << " " << q << " @" << threads << " threads";
+      }
+    }
+  }
+}
+
+TEST(QueryParallel, MoreThreadsThanRanks) {
+  ThreadPool::configureShared(8);
+  const Compressed c = mergedFor("JACOBI", 3);
+  EXPECT_EQ(runQuery(c.m, "matrix", 1), runQuery(c.m, "matrix", 8));
+}
+
+}  // namespace
+}  // namespace cypress::query

@@ -1,0 +1,254 @@
+// Compressed-domain query engine: oracle equivalence against
+// decompress-then-scan, across workloads and faulted (partial) traces.
+//
+// The contract under test: every answer the engine computes from the
+// CTT+RSD form is byte-identical (canonical JSON) to the same analysis
+// run over the fully decompressed event streams — so compressed-domain
+// analysis is a pure optimization, never an approximation.
+#include <gtest/gtest.h>
+
+#include "cypress/decompress.hpp"
+#include "driver/pipeline.hpp"
+#include "query/cursor.hpp"
+#include "query/engine.hpp"
+#include "query/query.hpp"
+#include "support/error.hpp"
+
+namespace cypress::query {
+namespace {
+
+/// MergedCtt references the CST by pointer, so the tree must outlive
+/// it — the holder carries the RunOutput's shared CST along.
+struct Compressed {
+  std::shared_ptr<const cst::Tree> tree;
+  core::MergedCtt m;
+};
+
+Compressed mergedFor(const std::string& workload, int procs, int scale = 1) {
+  driver::Options opts;
+  opts.procs = procs;
+  opts.scale = scale;
+  opts.withScala = false;
+  opts.withScala2 = false;
+  driver::RunOutput run = driver::runWorkload(workload, opts);
+  return Compressed{run.cst, driver::mergeCypress(run)};
+}
+
+/// Survivor-only expansion: one RankTrace per covered rank, in rank
+/// order — decompressAll would throw on traces with lost ranks.
+trace::RawTrace expandCovered(const core::MergedCtt& m) {
+  trace::RawTrace t;
+  const RankSet covered = coveredRanks(m);
+  for (int32_t r : covered.ranks()) {
+    trace::RankTrace rt;
+    rt.rank = r;
+    rt.events = core::decompressRank(m, r);
+    t.ranks.push_back(std::move(rt));
+  }
+  return t;
+}
+
+/// Every query kind, engine vs oracle, as rendered-JSON byte equality.
+void expectOracleEquivalence(const core::MergedCtt& m,
+                             const std::string& ctx) {
+  const trace::RawTrace raw = expandCovered(m);
+  EXPECT_EQ(renderSummary(summary(m), m.lostRanks()),
+            renderSummary(summaryFromRaw(raw), m.lostRanks()))
+      << ctx;
+  EXPECT_EQ(renderHistogram(histogram(m)),
+            renderHistogram(histogramFromRaw(raw)))
+      << ctx;
+  EXPECT_EQ(renderMatrix(commMatrix(m)), renderMatrix(commMatrixFromRaw(raw)))
+      << ctx;
+  EXPECT_EQ(renderCollectives(collectives(m)),
+            renderCollectives(collectivesFromRaw(raw)))
+      << ctx;
+}
+
+TEST(QueryEngine, OracleEquivalenceAcrossWorkloads) {
+  for (const char* w : {"CG", "LU", "FT", "JACOBI", "EP"}) {
+    SCOPED_TRACE(w);
+    const Compressed c = mergedFor(w, 16);
+    expectOracleEquivalence(c.m, w);
+  }
+}
+
+TEST(QueryEngine, OracleEquivalenceAtOddRankCounts) {
+  // Rank-conditional subtrees (first/last rank asymmetries) exercise
+  // the per-rank entry selection.
+  const Compressed a = mergedFor("JACOBI", 5);
+  expectOracleEquivalence(a.m, "JACOBI@5");
+  const Compressed b = mergedFor("CG", 8, 2);
+  expectOracleEquivalence(b.m, "CG@8x2");
+}
+
+TEST(QueryEngine, OracleEquivalenceOnFaultedTrace) {
+  // A salvaged run merges only the survivors' CTTs and annotates the
+  // dead set as lost. An injected kill in JACOBI cascades into every
+  // rank stalling (all lost, empty coverage), so the partial merge is
+  // built here the way driver::mergeCypress builds it: survivors only,
+  // the dead rank excluded and marked.
+  driver::Options opts;
+  opts.procs = 8;
+  opts.withScala = false;
+  opts.withScala2 = false;
+  driver::RunOutput run = driver::runWorkload("JACOBI", opts);
+  std::vector<const core::Ctt*> ctts;
+  std::vector<int> ranks;
+  for (const auto& r : run.cypress) {
+    if (r->rank() == 3) continue;
+    ctts.push_back(&r->ctt());
+    ranks.push_back(r->rank());
+  }
+  core::MergedCtt m = core::mergeAll(ctts, nullptr, 1, &ranks);
+  RankSet lost;
+  lost.insert(3);
+  m.markLost(lost);
+  ASSERT_FALSE(m.lostRanks().empty());
+
+  // The engine answers for exactly the surviving coverage, and the
+  // lost set is carried in the summary rendering.
+  const RankSet covered = coveredRanks(m);
+  for (int32_t r : m.lostRanks().ranks()) EXPECT_FALSE(covered.contains(r));
+  expectOracleEquivalence(m, "faulted JACOBI");
+  const std::string json = runQuery(m, "summary");
+  EXPECT_NE(json.find("\"lostRanks\":[3]"), std::string::npos) << json;
+}
+
+TEST(QueryEngine, MatrixAgreesWithSummaryTotals) {
+  const Compressed c = mergedFor("CG", 16);
+  const core::MergedCtt& m = c.m;
+  const auto rows = summary(m);
+  const auto cells = commMatrix(m);
+  for (const SummaryRow& row : rows) {
+    uint64_t msgs = 0;
+    int64_t bytes = 0;
+    for (const MatrixCell& c : cells) {
+      if (c.src != row.rank) continue;
+      msgs += c.msgs;
+      bytes += c.bytes;
+    }
+    EXPECT_EQ(msgs, row.sends) << "rank " << row.rank;
+    EXPECT_EQ(bytes, row.sendBytes) << "rank " << row.rank;
+  }
+}
+
+TEST(QueryCursor, StreamsExactlyTheDecompressedSequence) {
+  const Compressed c = mergedFor("FT", 8);
+  const core::MergedCtt& m = c.m;
+  const RankSet covered = coveredRanks(m);
+  for (int32_t r : covered.ranks()) {
+    const auto events = core::decompressRank(m, r);
+    CompressedCursor cur(m, r);
+    size_t i = 0;
+    while (!cur.done()) {
+      ASSERT_LT(i, events.size()) << "rank " << r;
+      EXPECT_EQ(cur.peek().toString(), events[i].toString())
+          << "rank " << r << " event " << i;
+      cur.next();
+      ++i;
+    }
+    EXPECT_EQ(i, events.size()) << "rank " << r;
+    EXPECT_EQ(cur.emitted(), events.size()) << "rank " << r;
+  }
+}
+
+TEST(QueryCursor, CursorStateIsSmallerThanTheExpandedVector) {
+  const Compressed c = mergedFor("JACOBI", 8, 4);
+  const core::MergedCtt& m = c.m;
+  const auto events = core::decompressRank(m, 1);
+  CompressedCursor cur(m, 1);
+  while (!cur.done()) cur.next();
+  EXPECT_LT(cur.memoryBytes(), events.size() * sizeof(trace::Event) / 4)
+      << "cursor state should stay far below the materialized stream";
+}
+
+TEST(QueryCursor, LostRankThrowsLikeDecompressRank) {
+  driver::Options opts;
+  opts.procs = 8;
+  opts.withScala = false;
+  opts.withScala2 = false;
+  opts.onStall = vm::OnStall::Salvage;
+  opts.engine.faults.faults.push_back(simmpi::parseFaultSpec("kill:2@10"));
+  driver::RunOutput run = driver::runWorkload("JACOBI", opts);
+  core::MergedCtt m = driver::mergeCypress(run);
+  ASSERT_TRUE(m.lostRanks().contains(2));
+  EXPECT_THROW(core::decompressRank(m, 2), Error);
+  CompressedCursor cur(m, 2);
+  EXPECT_THROW(cur.done(), Error);
+}
+
+TEST(QueryCallSites, SummedOverIterationsMatchesTheMatrix) {
+  // Σ_k callsites(src, dst, k).msgs over every iteration of the
+  // outermost comm loop must reproduce the full matrix cell — the
+  // interval arithmetic partitions the trace exactly.
+  const Compressed c = mergedFor("JACOBI", 8);
+  const core::MergedCtt& m = c.m;
+  const int gid = defaultLoopGid(m.cst());
+  ASSERT_GE(gid, 0);
+  const int32_t src = 2, dst = 3;
+  uint64_t cellMsgs = 0;
+  int64_t cellBytes = 0;
+  for (const MatrixCell& c : commMatrix(m)) {
+    if (c.src == src && c.dst == dst) {
+      cellMsgs = c.msgs;
+      cellBytes = c.bytes;
+    }
+  }
+  ASSERT_GT(cellMsgs, 0u);
+
+  uint64_t msgs = 0;
+  int64_t bytes = 0;
+  for (uint64_t k = 0;; ++k) {
+    std::vector<CallSiteHit> hits;
+    try {
+      hits = callSitesAt(m, src, dst, k, gid);
+    } catch (const Error&) {
+      break;  // iteration out of range: the loop is exhausted
+    }
+    for (const CallSiteHit& h : hits) {
+      msgs += h.msgs;
+      bytes += h.bytes * static_cast<int64_t>(h.msgs);
+      EXPECT_GE(h.gid, 0);
+      EXPECT_TRUE(h.op == ir::MpiOp::Send || h.op == ir::MpiOp::Isend);
+    }
+  }
+  EXPECT_EQ(msgs, cellMsgs);
+  EXPECT_EQ(bytes, cellBytes);
+}
+
+TEST(QueryCallSites, RejectsBadArguments) {
+  const Compressed c = mergedFor("JACOBI", 4);
+  const core::MergedCtt& m = c.m;
+  EXPECT_THROW(callSitesAt(m, 0, 1, 1u << 30), Error);   // iter out of range
+  EXPECT_THROW(callSitesAt(m, 0, 1, 0, 999999), Error);  // gid out of range
+  EXPECT_THROW(callSitesAt(m, 0, 1, 0, 0), Error);       // root is not a loop
+}
+
+TEST(QuerySpec, GrammarRoundtripsAndRejects) {
+  EXPECT_EQ(QuerySpec::parse("summary").toString(), "summary");
+  EXPECT_EQ(QuerySpec::parse("histogram").toString(), "hist");
+  EXPECT_EQ(QuerySpec::parse("collectives").toString(), "colls");
+  EXPECT_EQ(QuerySpec::parse("callsites src=1 dst=2 iter=7 loop=4").toString(),
+            "callsites src=1 dst=2 iter=7 loop=4");
+  EXPECT_THROW(QuerySpec::parse("bogus"), Error);
+  EXPECT_THROW(QuerySpec::parse("matrix src=1"), Error);  // no args allowed
+  EXPECT_THROW(QuerySpec::parse("callsites src=1 dst=2"), Error);  // no iter
+  EXPECT_THROW(QuerySpec::parse("callsites src=x dst=2 iter=0"), Error);
+  EXPECT_THROW(QuerySpec::parse("callsites src=-1 dst=2 iter=0"), Error);
+  EXPECT_THROW(QuerySpec::parse("callsites src=1 dst=2 iter=0 woof=3"), Error);
+}
+
+TEST(QueryRun, EndToEndJsonIsStableAcrossSerializeRoundtrip) {
+  const Compressed c = mergedFor("CG", 8);
+  const core::MergedCtt& m = c.m;
+  const auto bytes = m.serialize();
+  cst::Tree tree;
+  const core::MergedCtt back = core::MergedCtt::deserializeWithTree(bytes, tree);
+  for (const char* q : {"summary", "hist", "matrix", "colls"}) {
+    EXPECT_EQ(runQuery(m, q), runQuery(back, q)) << q;
+  }
+}
+
+}  // namespace
+}  // namespace cypress::query

@@ -10,6 +10,7 @@
 #include "minic/compile.hpp"
 #include "replay/simulator.hpp"
 #include "simmpi/engine.hpp"
+#include "support/io.hpp"
 #include "trace/observer.hpp"
 #include "vm/runner.hpp"
 
@@ -216,6 +217,97 @@ TEST(Replay, RecordedTimesModeOnMultiRankTrace) {
   const double measured = static_cast<double>(t.measured.executionNs);
   EXPECT_LT(static_cast<double>(timed.predictedNs), measured * 2);
   EXPECT_GT(static_cast<double>(timed.predictedNs), measured / 2);
+}
+
+/// MergedCtt references the CST by pointer, so the holder keeps the
+/// static result (and with it the tree) alive alongside the trace.
+struct MergedTrace {
+  std::shared_ptr<cst::StaticResult> sr;
+  core::MergedCtt m;
+};
+
+MergedTrace mergeTraced(const std::string& src, int ranks) {
+  auto m = minic::compileProgram(src);
+  auto sr = std::make_shared<cst::StaticResult>(cst::analyzeAndInstrument(*m));
+  simmpi::Engine::Config cfg;
+  cfg.numRanks = ranks;
+  simmpi::Engine engine(cfg);
+  std::vector<std::unique_ptr<core::CttRecorder>> recs;
+  std::vector<trace::Observer*> obs;
+  for (int r = 0; r < ranks; ++r) {
+    recs.push_back(std::make_unique<core::CttRecorder>(sr->cst, r));
+    obs.push_back(recs.back().get());
+  }
+  vm::run(*m, engine, obs, 1ull << 28);
+  std::vector<const core::Ctt*> ctts;
+  for (const auto& r : recs) ctts.push_back(&r->ctt());
+  return MergedTrace{sr, core::mergeAll(ctts)};
+}
+
+TEST(CompressedReplay, PredictionIdenticalToDecompressedReplay) {
+  // The compressed-domain source must feed SIM-MPI the exact event
+  // stream decompressAll produces, so the predictions are equal to the
+  // nanosecond, not merely close.
+  const char* src = R"(
+    func main() {
+      for (var k = 0; k < 25; k = k + 1) {
+        compute(150000);
+        if (rank < size - 1) { mpi_send(rank + 1, 4096, 0); }
+        if (rank > 0)        { mpi_recv(rank - 1, 4096, 0); }
+        mpi_allreduce(64);
+      }
+    })";
+  const MergedTrace t = mergeTraced(src, 6);
+  const core::MergedCtt& merged = t.m;
+  const trace::RawTrace expanded = core::decompressAll(merged, 6);
+  const auto direct = simulate(merged);
+  const auto viaExpansion = simulate(expanded);
+  EXPECT_EQ(direct.totalEvents, viaExpansion.totalEvents);
+  EXPECT_EQ(direct.predictedNs, viaExpansion.predictedNs);
+  EXPECT_EQ(direct.rankClockNs, viaExpansion.rankClockNs);
+  EXPECT_EQ(direct.rankCommNs, viaExpansion.rankCommNs);
+
+  const auto timedDirect = simulateRecordedTimes(merged);
+  const auto timedExpanded = simulateRecordedTimes(expanded);
+  EXPECT_EQ(timedDirect.totalEvents, timedExpanded.totalEvents);
+  EXPECT_EQ(timedDirect.predictedNs, timedExpanded.predictedNs);
+}
+
+TEST(CompressedReplay, PartialTraceIsRejected) {
+  // Replay needs every rank's stream; a trace with lost ranks must be
+  // refused with a structured error, exactly as decompressAll refuses.
+  MergedTrace t = mergeTraced(R"(
+    func main() { mpi_barrier(); })", 4);
+  EXPECT_NO_THROW(simulate(t.m));
+  RankSet lost;
+  lost.insert(4);
+  t.m.markLost(lost);
+  EXPECT_THROW(simulate(t.m), Error);
+}
+
+TEST(CompressedReplay, PeakRssStaysFarBelowTheMaterializedTrace) {
+  // The reason the cursor path exists: replaying N events must not
+  // allocate the N-event vector. The workload below expands to ~1.2M
+  // events (~96 MB materialized); the compressed walk has to finish
+  // within a quarter of that above its starting watermark.
+  const char* src = R"(
+    func main() {
+      for (var k = 0; k < 50000; k = k + 1) {
+        compute(1000);
+        if (rank < size - 1) { mpi_send(rank + 1, 1024, 0); }
+        if (rank > 0)        { mpi_recv(rank - 1, 1024, 0); }
+      }
+    })";
+  const MergedTrace t = mergeTraced(src, 8);
+  const core::MergedCtt& merged = t.m;
+  const uint64_t before = io::peakRssBytes();
+  const auto p = simulate(merged);
+  const uint64_t after = io::peakRssBytes();
+  ASSERT_GT(p.totalEvents, 500000u);
+  const uint64_t materialized = p.totalEvents * sizeof(trace::Event);
+  EXPECT_LT(after - before, materialized / 4)
+      << "replay grew RSS by " << (after - before) << " bytes against a "
+      << materialized << "-byte expansion";
 }
 
 }  // namespace

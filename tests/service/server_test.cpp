@@ -14,6 +14,7 @@
 #include <thread>
 
 #include "driver/pipeline.hpp"
+#include "query/query.hpp"
 #include "service/server.hpp"
 #include "support/thread_pool.hpp"
 #include "verify/roundtrip.hpp"
@@ -175,6 +176,49 @@ TEST(Server, ArtifactByteIdenticalToDirectPipelineRun) {
 
   EXPECT_EQ(fileBytes(st->artifactPath), reference)
       << "daemon artifact diverged from the direct pipeline";
+  server.stop();
+}
+
+TEST(Server, QueryJobAnswersFromTheCompressedArtifact) {
+  ThreadPool::configureShared(4);
+  ServerConfig cfg;
+  cfg.spoolDir = freshDir("cyp_service_query");
+  JobServer server(cfg);
+  server.start();
+
+  // Produce a trace artifact with a Run job, then query it in place.
+  const auto run = server.submit(runSpec(1), 1);
+  ASSERT_TRUE(run.accepted);
+  const auto ranSt = server.wait(run.jobId, 120'000);
+  ASSERT_EQ(ranSt->state, JobState::Done) << ranSt->detail;
+
+  JobSpec q;
+  q.kind = JobKind::Query;
+  q.target = ranSt->artifactPath;
+  q.querySpec = "matrix";
+  const auto qr = server.submit(q, 1);
+  ASSERT_TRUE(qr.accepted) << qr.message;
+  const auto qSt = server.wait(qr.jobId, 120'000);
+  ASSERT_EQ(qSt->state, JobState::Done) << qSt->detail;
+  EXPECT_GT(qSt->artifactBytes, 0u);
+
+  // The artifact is exactly the library answer for the same trace.
+  cst::Tree tree;
+  const auto m =
+      core::MergedCtt::deserializeWithTree(fileBytes(q.target), tree);
+  const std::string want = query::runQuery(m, "matrix");
+  const auto got = fileBytes(qSt->artifactPath);
+  EXPECT_EQ(std::string(got.begin(), got.end()), want);
+
+  // A malformed spec is a permanent failure, not a daemon crash.
+  JobSpec bad = q;
+  bad.querySpec = "bogus";
+  const auto br = server.submit(bad, 1);
+  ASSERT_TRUE(br.accepted);
+  const auto bSt = server.wait(br.jobId, 120'000);
+  EXPECT_EQ(bSt->state, JobState::Failed);
+  EXPECT_NE(bSt->detail.find("unknown query kind"), std::string::npos)
+      << bSt->detail;
   server.stop();
 }
 

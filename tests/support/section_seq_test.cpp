@@ -107,6 +107,65 @@ TEST(SectionSeq, PropertyRandomSequencesRoundTrip) {
   }
 }
 
+TEST(SectionSeq, RangeArithmeticMatchesBruteForce) {
+  // prefixSum / countBelow / countInRange against the expanded values,
+  // over random mixtures that split into many sections of every stride
+  // sign. These back the compressed-domain query engine, so the
+  // arithmetic must be exact on arbitrary content.
+  for (uint64_t seed = 100; seed < 120; ++seed) {
+    Rng rng(seed);
+    std::vector<int64_t> vals;
+    const int n = static_cast<int>(rng.range(1, 200));
+    for (int i = 0; i < n; ++i) {
+      switch (rng.below(4)) {
+        case 0: vals.push_back(rng.range(-5, 5)); break;
+        case 1: vals.push_back(i); break;
+        case 2: vals.push_back(100 - 3 * i); break;
+        default: vals.push_back(rng.range(-500, 500)); break;
+      }
+    }
+    const SectionSeq q = SectionSeq::compress(vals);
+
+    int64_t sum = 0;
+    for (size_t k = 0; k <= vals.size(); ++k) {
+      EXPECT_EQ(q.prefixSum(k), sum) << "seed " << seed << " k " << k;
+      if (k < vals.size()) sum += vals[k];
+    }
+    EXPECT_EQ(q.sum(), sum) << "seed " << seed;
+    EXPECT_THROW(q.prefixSum(vals.size() + 1), Error);
+
+    for (int64_t v : {-501ll, -5ll, 0ll, 3ll, 99ll, 501ll}) {
+      uint64_t below = 0;
+      for (int64_t x : vals)
+        if (x < v) ++below;
+      EXPECT_EQ(q.countBelow(v), below) << "seed " << seed << " v " << v;
+    }
+    for (int t = 0; t < 10; ++t) {
+      const int64_t lo = rng.range(-600, 600);
+      const int64_t hi = rng.range(-600, 600);
+      uint64_t want = 0;
+      for (int64_t x : vals)
+        if (x >= lo && x < hi) ++want;
+      if (hi <= lo) want = 0;
+      EXPECT_EQ(q.countInRange(lo, hi), want)
+          << "seed " << seed << " [" << lo << "," << hi << ")";
+    }
+  }
+}
+
+TEST(SectionSeq, RangeArithmeticOnEmptyAndSingleton) {
+  SectionSeq empty;
+  EXPECT_EQ(empty.sum(), 0);
+  EXPECT_EQ(empty.prefixSum(0), 0);
+  EXPECT_EQ(empty.countBelow(100), 0u);
+  SectionSeq one;
+  one.append(42);
+  EXPECT_EQ(one.prefixSum(1), 42);
+  EXPECT_EQ(one.countBelow(42), 0u);
+  EXPECT_EQ(one.countBelow(43), 1u);
+  EXPECT_EQ(one.countInRange(42, 43), 1u);
+}
+
 TEST(SectionSeq, SerializedSizeIsCompactForRegularData) {
   SectionSeq q;
   for (int i = 0; i < 100000; ++i) q.append(42);

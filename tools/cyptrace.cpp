@@ -36,6 +36,14 @@
 //       OTF-style text with --otf).
 //   cyptrace replay <F.cyp> [--net ib|eth]
 //       Predict execution time by SIM-MPI replay under a LogGP model.
+//       Replay consumes the compressed trace directly through
+//       CompressedCursor — the expanded event vector is never
+//       materialized.
+//   cyptrace query <F.cyp> <SPEC> [--threads T]
+//       Answer analyses in the compressed domain (no decompression):
+//       summary | hist | matrix | colls | callsites src=A dst=B iter=K
+//       [loop=GID]. Prints one canonical JSON object; cost is
+//       O(compressed size), independent of the event count.
 //   cyptrace compare <workload> --procs N [--scale S]
 //       Run all tools side by side and print sizes/overheads.
 //   cyptrace stats <F.cyp>
@@ -50,6 +58,7 @@
 //       check byte stability and (with --fuzz) corruption-fuzz the
 //       deserializer.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -62,6 +71,8 @@
 #include "cypress/merge_stream.hpp"
 #include "driver/pipeline.hpp"
 #include "flate/flate.hpp"
+#include "query/engine.hpp"
+#include "query/query.hpp"
 #include "support/io.hpp"
 #include "replay/simulator.hpp"
 #include "support/strings.hpp"
@@ -102,6 +113,8 @@ struct Args {
   bool keepWork = false;
   std::vector<std::string> ioFaults;
   uint64_t crashAfterSteps = 0;
+  std::string querySpec;
+  bool queries = false;
 };
 
 [[noreturn]] void usage() {
@@ -120,7 +133,11 @@ struct Args {
                "  cyptrace info <F.cyp>\n"
                "  cyptrace dump <F.cyp> [--rank R] [--limit N] [--otf]\n"
                "  cyptrace replay <F.cyp> [--net ib|eth]\n"
+               "  cyptrace query <F.cyp> <SPEC> [--threads T]\n"
+               "               (SPEC: summary | hist | matrix | colls |\n"
+               "                callsites src=A dst=B iter=K [loop=GID])\n"
                "  cyptrace compare <workload> --procs N [--scale S] [--threads T]\n"
+               "               [--queries]\n"
                "  cyptrace stats <F.cyp>\n"
                "  cyptrace diff <A.cyp> <B.cyp>\n"
                "  cyptrace verify <workload|file.mc|trace file> [--procs N] "
@@ -158,6 +175,13 @@ Args parse(int argc, char** argv) {
   }
   for (int i = firstFlag; i < argc; ++i) {
     const std::string flag = argv[i];
+    // `query` takes its spec as bare words after the trace file, so
+    // shell users can write: cyptrace query t.cyp callsites src=0 ...
+    if (a.command == "query" && flag.rfind("--", 0) != 0) {
+      if (!a.querySpec.empty()) a.querySpec += ' ';
+      a.querySpec += flag;
+      continue;
+    }
     auto value = [&]() -> std::string {
       if (i + 1 >= argc) usage();
       return argv[++i];
@@ -184,6 +208,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--keep-work") a.keepWork = true;
     else if (flag == "--io-fault") a.ioFaults.push_back(value());
     else if (flag == "--crash-after-steps") a.crashAfterSteps = std::stoull(value());
+    else if (flag == "--queries") a.queries = true;
     else usage();
   }
   return a;
@@ -418,19 +443,28 @@ int cmdReplay(const Args& a) {
   const auto bytes = readBytes(a.target);
   cst::Tree tree;
   core::MergedCtt merged = core::MergedCtt::deserializeWithTree(bytes, tree);
-  RankSet all;
-  for (int g = 0; g < tree.numNodes(); ++g)
-    for (const auto& e : merged.leafEntries(g)) all.unite(e.ranks);
-  const int numRanks = all.empty() ? 0 : all.ranks().back() + 1;
-  trace::RawTrace t = core::decompressAll(merged, numRanks);
+  const RankSet covered = query::coveredRanks(merged);
+  const int numRanks = covered.empty() ? 0 : covered.ranks().back() + 1;
   const simmpi::LogGP net =
       a.net == "eth" ? simmpi::LogGP::ethernet() : simmpi::LogGP::infiniband();
-  replay::Prediction p = replay::simulate(t, net);
-  std::printf("replayed %llu events on %d ranks (%s)\n",
+  // SIM-MPI pulls events straight off CompressedCursors, one per rank;
+  // the expanded trace never exists in memory.
+  replay::Prediction p = replay::simulate(merged, net);
+  std::printf("replayed %llu events on %d ranks (%s, compressed-domain)\n",
               static_cast<unsigned long long>(p.totalEvents), numRanks,
               a.net == "eth" ? "ethernet model" : "InfiniBand model");
   std::printf("predicted execution time: %.3f ms, communication share %.2f%%\n",
               static_cast<double>(p.predictedNs) / 1e6, p.commPercent());
+  return 0;
+}
+
+int cmdQuery(const Args& a) {
+  if (a.querySpec.empty()) usage();
+  const auto bytes = readBytes(a.target);
+  cst::Tree tree;
+  core::MergedCtt merged = core::MergedCtt::deserializeWithTree(bytes, tree);
+  const std::string json = query::runQuery(merged, a.querySpec, a.threads);
+  std::printf("%s\n", json.c_str());
   return 0;
 }
 
@@ -475,6 +509,27 @@ int cmdCompare(const Args& a) {
   std::printf("  cypress      %12s  (merge %.3f ms)\n",
               humanBytes(rep.cypressBytes).c_str(), rep.cypressInterSeconds * 1e3);
   std::printf("  cypress+gz   %12s\n", humanBytes(rep.cypressGzipBytes).c_str());
+  if (a.queries) {
+    // Sanity row: the compressed-domain comm matrix must equal the
+    // expanded-trace scan byte-for-byte (canonical JSON both sides).
+    core::MergedCtt merged = driver::mergeCypress(run, nullptr, a.threads);
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::string engine =
+        query::renderMatrix(query::commMatrix(merged, a.threads));
+    const auto t1 = std::chrono::steady_clock::now();
+    const std::string oracle =
+        query::renderMatrix(query::commMatrixFromRaw(run.raw));
+    const auto t2 = std::chrono::steady_clock::now();
+    const double engineMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const double oracleMs =
+        std::chrono::duration<double, std::milli>(t2 - t1).count();
+    std::printf("  queries      matrix on compressed %.3f ms, raw scan %.3f ms"
+                " -> %s\n",
+                engineMs, oracleMs,
+                engine == oracle ? "identical" : "MISMATCH");
+    if (engine != oracle) return 1;
+  }
   return 0;
 }
 
@@ -527,6 +582,7 @@ int main(int argc, char** argv) {
     if (a.command == "info") return cmdInfo(a);
     if (a.command == "dump") return cmdDump(a);
     if (a.command == "replay") return cmdReplay(a);
+    if (a.command == "query") return cmdQuery(a);
     if (a.command == "compare") return cmdCompare(a);
     if (a.command == "stats") return cmdStats(a);
     if (a.command == "diff") return cmdDiff(a);

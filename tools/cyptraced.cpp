@@ -4,8 +4,9 @@
 //             [--queue N] [--concurrent N] [--client-cap N]
 //             [--attempts N] [--deadline MS] [--threads T]
 //             [--crash-after-segments N]
-//       Run the daemon: accept run/compress/verify/recover jobs over a
-//       local Unix socket, with bounded admission, per-job watchdog
+//       Run the daemon: accept run/compress/verify/recover/query jobs over a
+//       local Unix socket (plus compressed-domain query jobs), with
+//       bounded admission, per-job watchdog
 //       deadlines, retry with exponential backoff, and a CYL1 job
 //       ledger. --recover salvages an existing ledger after a crash:
 //       unfinished jobs are re-queued and their torn journals renamed
@@ -15,8 +16,12 @@
 //
 //   cyptraced submit --socket PATH <workload|file.mc> [--procs N]
 //             [--scale S] [--fault SPEC]... [--transient-faults]
-//             [--attempts N] [--deadline MS] [--kind run|compress|verify|recover]
+//             [--attempts N] [--deadline MS]
+//             [--kind run|compress|verify|recover|query] [--query SPEC]
 //             [--wait [MS]]
+//       A query job (--kind query --query "matrix") answers a
+//       compressed-domain analysis against a trace file and writes the
+//       canonical JSON as the job artifact.
 //       Submit one job; prints the job id (and, with --wait, blocks for
 //       the outcome). Exit 0 on DONE, 3 on FAILED/CANCELLED, 4 when
 //       the server refused the job (REJECTED_BUSY).
@@ -72,6 +77,7 @@ struct Args {
   int scale = 1;
   std::vector<std::string> faultSpecs;
   bool transientFaults = false;
+  std::string querySpec;
   bool wait = false;
   uint64_t waitMs = 120'000;
   uint64_t timeoutMs = 120'000;
@@ -85,7 +91,8 @@ struct Args {
       "            [--concurrent N] [--client-cap N] [--attempts N]\n"
       "            [--deadline MS] [--threads T] [--crash-after-segments N]\n"
       "  cyptraced submit --socket PATH <workload|file.mc> [--procs N] [--scale S]\n"
-      "            [--kind run|compress|verify|recover] [--fault SPEC]...\n"
+      "            [--kind run|compress|verify|recover|query] [--query SPEC]\n"
+      "            [--fault SPEC]...\n"
       "            [--transient-faults] [--attempts N] [--deadline MS] [--wait [MS]]\n"
       "  cyptraced status|wait|cancel --socket PATH <jobId> [--timeout MS]\n"
       "  cyptraced list|counters|shutdown --socket PATH\n");
@@ -115,6 +122,7 @@ Args parse(int argc, char** argv) {
     else if (flag == "--procs") a.procs = std::stoi(value());
     else if (flag == "--scale") a.scale = std::stoi(value());
     else if (flag == "--kind") a.kind = value();
+    else if (flag == "--query") a.querySpec = value();
     else if (flag == "--fault") a.faultSpecs.push_back(value());
     else if (flag == "--transient-faults") a.transientFaults = true;
     else if (flag == "--wait") {
@@ -200,7 +208,9 @@ int cmdSubmit(const Args& a) {
   else if (a.kind == "compress") spec.kind = service::JobKind::Compress;
   else if (a.kind == "verify") spec.kind = service::JobKind::Verify;
   else if (a.kind == "recover") spec.kind = service::JobKind::Recover;
+  else if (a.kind == "query") spec.kind = service::JobKind::Query;
   else usage();
+  if (spec.kind == service::JobKind::Query && a.querySpec.empty()) usage();
   spec.target = a.target;
   if (spec.kind == service::JobKind::Run && a.target.size() > 3 &&
       a.target.compare(a.target.size() - 3, 3, ".mc") == 0)
@@ -211,6 +221,7 @@ int cmdSubmit(const Args& a) {
   spec.faultsTransient = a.transientFaults;
   spec.deadlineMs = a.deadlineMs;
   spec.maxAttempts = a.attempts;
+  spec.querySpec = a.querySpec;
 
   const service::Response resp = client.submit(spec);
   if (resp.code == service::ResponseCode::RejectedBusy) {
